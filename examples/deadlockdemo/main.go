@@ -1,0 +1,55 @@
+// Deadlockdemo reproduces Figure 1 live in the flit-level simulator: four
+// long wormhole packets routed strictly clockwise around a four-router loop
+// block one another in a circular wait. The demo then breaks the loop with
+// a routing restriction (the essence of dimension-order routing and of
+// ServerNet's path disables) and shows the same workload completing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Each node sends a 32-flit packet to the node two hops clockwise, so
+	// every packet's head ends up waiting behind another packet's tail.
+	specs := workload.Transfers(workload.RingDeadlockSet(4), 32)
+	cfg := sim.Config{FIFODepth: 2, DeadlockThreshold: 500}
+
+	fmt.Println("=== unrestricted clockwise routing (Figure 1) ===")
+	unsafe, ring, err := core.NewRing(4, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := unsafe.SimulateUnrestricted(specs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d/4 packets; deadlocked=%v after %d cycles\n",
+		res.Delivered, res.Deadlocked, res.Cycles)
+	if res.Deadlocked {
+		fmt.Println("wait-for cycle extracted from the stalled network:")
+		for _, ch := range res.WaitCycle {
+			fmt.Printf("  %s  (head flit waits here)\n", ring.ChannelString(ch))
+		}
+	}
+
+	fmt.Println("\n=== restricted routing: the seam link is never used ===")
+	safe, _, err := core.NewRing(4, 1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := safe.Simulate(specs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d/4 packets in %d cycles; deadlocked=%v\n",
+		res2.Delivered, res2.Cycles, res2.Deadlocked)
+	fmt.Println("\nbreaking one dependency edge of the loop is enough — the same")
+	fmt.Println("principle behind dimension-order routing, the hypercube path")
+	fmt.Println("disables of Figure 2, and the fractahedral routing of §2.4.")
+}

@@ -1,0 +1,68 @@
+// Scaling sweeps fractahedron depth (Table 1) and contrasts thin against
+// fat variants on capacity, worst-case delay, bisection bandwidth and
+// router cost — the cost/performance trade-off the paper's conclusion
+// claims the topology family provides.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func main() {
+	fmt.Println("fractahedron scaling, N = 1..3 (tetrahedral, 6-port routers, no fan-out)")
+	fmt.Println("variant | N | nodes | routers | links | max hops | bisection")
+	for n := 1; n <= 3; n++ {
+		for _, fat := range []bool{false, true} {
+			variant := "thin"
+			if fat {
+				variant = "fat "
+			}
+			sys, f, err := core.NewFractahedron(topology.Tetra(n, fat))
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxHops := 0
+			if n <= 2 {
+				a, err := sys.Analyze(core.AnalyzeOptions{SkipContention: true, SkipBisection: true})
+				if err != nil {
+					log.Fatal(err)
+				}
+				maxHops = a.Hops.Max
+			} else {
+				// Route the structural worst pair instead of all pairs: an
+				// all-sevens source (router 3 at every level) forces an
+				// intra hop before every thin ascent, and an all-fours
+				// destination (router 2 everywhere) forces one at the apex
+				// and after every descent, in both variants.
+				worstSrc, worstDst := 0, 0
+				for k := 0; k < n; k++ {
+					worstSrc = worstSrc*8 + 7
+					worstDst = worstDst*8 + 4
+				}
+				r, err := sys.Tables.Route(worstSrc, worstDst)
+				if err != nil {
+					log.Fatal(err)
+				}
+				maxHops = r.RouterHops()
+			}
+			bis := metrics.Bisection(f.Network, 0, 1) // structural seed cut
+			fmt.Printf("%s    | %d | %5d | %7d | %5d | %8d | %d\n",
+				variant, n, f.NumNodes(), f.NumRouters(), f.NumLinks(), maxHops, bis.Cut)
+		}
+	}
+
+	fmt.Println("\nwith the fan-out stage (2 CPUs per fan-out router), capacity is 2*8^N:")
+	for n := 1; n <= 3; n++ {
+		cfg := topology.Tetra(n, true)
+		cfg.Fanout = true
+		fmt.Printf("  N=%d: %d CPUs\n", n, cfg.MaxNodes())
+	}
+
+	fmt.Println("\ntrade-off: the fat variant buys 4^N bisection and 3N-1 worst delay")
+	fmt.Println("(vs 4 links and 4N-2 for thin) at the price of 4^k routers per level k.")
+}

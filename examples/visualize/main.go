@@ -1,0 +1,106 @@
+// Visualize writes SVG drawings of the paper's figures into ./figures/:
+// the tetrahedron (Figure 4), the thin fractahedron (Figure 5), the 64-node
+// 4-2 fat tree (Figure 6), the fat fractahedron drawn fat-tree-style
+// (Figure 7), and the Figure 1 ring with its deadlock cycle highlighted.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+// routingFor builds the fractahedral tables for a heatmap profile.
+func routingFor(f *topology.Fractahedron) *routing.Tables {
+	return routing.Fractahedron(f)
+}
+
+func main() {
+	dir := "figures"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, render func(f *os.File) error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := render(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	// Figure 4: a single tetrahedron.
+	tetra := topology.NewFractahedron(topology.Tetra(1, false))
+	write("figure4-tetrahedron.svg", func(f *os.File) error {
+		return viz.WriteFractahedronSVG(f, tetra, viz.Options{})
+	})
+
+	// Figure 5: the thin fractahedron (two levels keep the drawing legible).
+	thin := topology.NewFractahedron(topology.Tetra(2, false))
+	write("figure5-thin-fractahedron.svg", func(f *os.File) error {
+		return viz.WriteFractahedronSVG(f, thin, viz.Options{})
+	})
+
+	// Figure 6: the 64-node 4-2 fat tree.
+	ft := topology.NewFatTree(4, 2, 64)
+	write("figure6-fattree.svg", func(f *os.File) error {
+		return viz.WriteFatTreeSVG(f, ft, viz.Options{})
+	})
+
+	// Figure 7: the fat fractahedron, drawn in the style of a fat tree.
+	fat := topology.NewFractahedron(topology.Tetra(2, true))
+	write("figure7-fat-fractahedron.svg", func(f *os.File) error {
+		return viz.WriteFractahedronSVG(f, fat, viz.Options{})
+	})
+
+	// Load heatmap: Figure 7's network with links colored by uniform-load
+	// utilization — the down-link concentration behind the 8:1 measurement.
+	tb := func() map[topology.LinkID]float64 {
+		prof, err := contention.Utilization(routingFor(fat))
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := make(map[topology.LinkID]float64)
+		for ch, c := range prof.PerChannel {
+			w[fat.ChannelLink(ch)] += float64(c)
+		}
+		return w
+	}()
+	write("figure7-heatmap.svg", func(f *os.File) error {
+		return viz.WriteFractahedronSVG(f, fat, viz.Options{Weights: tb})
+	})
+
+	// Figure 1: the ring deadlock, with the simulator's wait-for cycle
+	// highlighted in red.
+	unsafe, ring, err := core.NewRing(4, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := unsafe.SimulateUnrestricted(
+		workload.Transfers(workload.RingDeadlockSet(4), 32),
+		sim.Config{FIFODepth: 2, DeadlockThreshold: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Deadlocked {
+		log.Fatal("expected the Figure 1 deadlock")
+	}
+	write("figure1-ring-deadlock.svg", func(f *os.File) error {
+		return viz.WriteSVG(f, ring.Network, ring.Routers[0], viz.Options{Highlight: res.WaitCycle})
+	})
+}

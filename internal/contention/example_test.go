@@ -1,0 +1,38 @@
+package contention_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/contention"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Measure the paper's §3.3 worst case: 12 transfers forced through one link
+// of the 64-node 4-2 fat tree.
+func ExampleMaxLinkContention() {
+	ft := topology.NewFatTree(4, 2, 64)
+	res, err := contention.MaxLinkContention(routing.FatTree(ft))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max contention %d:1 with a witness of %d transfers\n", res.Max, len(res.Witness))
+	// Output:
+	// max contention 12:1 with a witness of 12 transfers
+}
+
+// Check the paper's hand-built §3.4 scenario on the fat fractahedron: all
+// four transfers share one diagonal link of a level-2 layer.
+func ExampleContentionOfSet() {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	tb := routing.Fractahedron(f)
+	set := []contention.Transfer{{Src: 6, Dst: 54}, {Src: 7, Dst: 55}, {Src: 14, Dst: 62}, {Src: 15, Dst: 63}}
+	shared, _, err := contention.ContentionOfSet(tb, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of 4 transfers share one link\n", shared)
+	// Output:
+	// 4 of 4 transfers share one link
+}

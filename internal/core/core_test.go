@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// The façade reproduces Table 2 in one call per system.
+func TestAnalyzeTable2(t *testing.T) {
+	ftSys, _, err := NewFatTree(4, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frSys, _, err := NewFatFractahedron(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aFT, err := ftSys.Analyze(AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aFR, err := frSys.Analyze(AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aFT.Contention.Max != 12 {
+		t.Errorf("fat tree contention = %d, want 12", aFT.Contention.Max)
+	}
+	if aFR.Contention.Max >= aFT.Contention.Max {
+		t.Errorf("fractahedron contention %d not below fat tree %d",
+			aFR.Contention.Max, aFT.Contention.Max)
+	}
+	if aFT.Cost.Routers != 28 || aFR.Cost.Routers != 48 {
+		t.Errorf("router counts %d/%d, want 28/48", aFT.Cost.Routers, aFR.Cost.Routers)
+	}
+	if !aFT.Deadlock.Free || !aFR.Deadlock.Free {
+		t.Error("either system not deadlock-free")
+	}
+	if aFR.Hops.Mean >= aFT.Hops.Mean {
+		t.Errorf("fractahedron mean hops %.3f not below fat tree %.3f",
+			aFR.Hops.Mean, aFT.Hops.Mean)
+	}
+}
+
+func TestAnalyzeSkips(t *testing.T) {
+	s, _, err := NewMesh(3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(AnalyzeOptions{SkipContention: true, SkipBisection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Contention.Max != 0 || a.Bisection.Side != nil {
+		t.Error("skipped analyses still ran")
+	}
+	if a.Hops.Max == 0 {
+		t.Error("hop analysis missing")
+	}
+}
+
+func TestSystemSimulate(t *testing.T) {
+	s, _, err := NewFatFractahedron(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate(workload.Transfers([][2]int{{0, 7}, {3, 4}}, 8), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 || res.Deadlocked {
+		t.Errorf("delivered=%d deadlocked=%v", res.Delivered, res.Deadlocked)
+	}
+}
+
+func TestRingUnsafeDeadlocksViaFacade(t *testing.T) {
+	s, _, err := NewRing(4, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SimulateUnrestricted(
+		workload.Transfers(workload.RingDeadlockSet(4), 32),
+		sim.Config{FIFODepth: 2, DeadlockThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Error("unsafe ring did not deadlock")
+	}
+}
+
+func TestGeneralizedFractahedronFacade(t *testing.T) {
+	s, f, err := NewFractahedron(topology.FractConfig{Group: 3, Down: 2, Levels: 2, Fat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 36 {
+		t.Errorf("nodes = %d", f.NumNodes())
+	}
+	a, err := s.Analyze(AnalyzeOptions{SkipBisection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Deadlock.Free {
+		t.Error("generalized fractahedron not deadlock-free")
+	}
+}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Build the paper's 64-node fat fractahedron and reproduce its Table 2 row.
+func Example() {
+	sys, _, err := core.NewFatFractahedron(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.Analyze(core.AnalyzeOptions{SkipBisection: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routers: %d\n", a.Cost.Routers)
+	fmt.Printf("average hops: %.1f\n", a.Hops.Mean)
+	fmt.Printf("deadlock-free: %v\n", a.Deadlock.Free)
+	// Output:
+	// routers: 48
+	// average hops: 4.3
+	// deadlock-free: true
+}
+
+// Route one of the paper's §3.4 transfers and inspect the path.
+func ExampleSystem_analyze() {
+	sys, fract, err := core.NewFatFractahedron(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := sys.Tables.Route(6, 54)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("router hops: %d\n", r.RouterHops())
+	fmt.Printf("source digits: level2=%d level1=%d\n", fract.Digit(6, 2), fract.Digit(6, 1))
+	// Output:
+	// router hops: 4
+	// source digits: level2=0 level1=6
+}
+
+// Simulate the §3.4 adversarial transfer set through the wormhole simulator.
+func ExampleSystem_simulate() {
+	sys, _, err := core.NewFatFractahedron(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Simulate(workload.Transfers(workload.FractahedronWorstCase(), 16), sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d/4, deadlocked=%v, in order=%v\n",
+		res.Delivered, res.Deadlocked, res.InOrderViolations == 0)
+	// Output:
+	// delivered 4/4, deadlocked=false, in order=true
+}
+
+// Parse a spec string the way the command-line tools do.
+func ExampleParseSystem() {
+	sys, name, err := core.ParseSystem("fattree:d=4,u=2,nodes=64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d routers\n", name, sys.Net.NumRouters())
+	// Output:
+	// fattree-4-2-n64: 28 routers
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSystem checks that arbitrary spec strings never panic the parser
+// or the builders behind it, and that accepted specs produce valid systems.
+func FuzzParseSystem(f *testing.F) {
+	for _, seed := range []string{
+		"fat-fract:levels=2",
+		"thin-fract:levels=1,fanout",
+		"fat-fract:levels=2,populate=40",
+		"fattree:d=4,u=2,nodes=64",
+		"mesh:cols=3,rows=3,nodes=1",
+		"hypercube:dim=3,updown",
+		"ring:size=4,unsafe",
+		"fullmesh:m=4",
+		"ccc:dim=3",
+		"shuffle:dim=4",
+		"",
+		"mesh:cols=0",
+		"fat-fract:levels=-1",
+		"ring:size=999999999",
+		"fat-fract:levels=2,populate=-5",
+		"junk:::,,,===",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Builders legitimately panic on out-of-range parameters; the fuzz
+		// invariant is "no panic OTHER than a deliberate validation panic,
+		// and no crash": convert panics carrying validation messages into
+		// rejections, and bound sizes so the fuzzer doesn't OOM.
+		if len(spec) > 64 {
+			return
+		}
+		// Bound every numeric parameter so the fuzzer explores structure,
+		// not memory limits.
+		num := 0
+		inNum := false
+		for _, c := range spec {
+			if c >= '0' && c <= '9' {
+				num = num*10 + int(c-'0')
+				inNum = true
+				if num > 8 {
+					return
+				}
+			} else {
+				num, inNum = 0, false
+			}
+		}
+		_ = inNum
+		defer func() {
+			if r := recover(); r != nil {
+				msg, ok := r.(string)
+				if !ok {
+					if err, isErr := r.(error); isErr {
+						msg = err.Error()
+					}
+				}
+				if !strings.Contains(msg, "topology:") && !strings.Contains(msg, "routing:") {
+					panic(r)
+				}
+			}
+		}()
+		sys, name, err := ParseSystem(spec)
+		if err != nil {
+			return
+		}
+		if sys == nil || name == "" {
+			t.Fatalf("accepted spec %q without a system", spec)
+		}
+		if verr := sys.Net.Validate(); verr != nil {
+			t.Fatalf("spec %q built an invalid network: %v", spec, verr)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// FIFORow is one buffer-depth point of the FIFO ablation.
+type FIFORow struct {
+	Depth      int
+	Cycles     int
+	AvgLatency float64
+	Throughput float64
+}
+
+// AblationFIFODepth sweeps the router input-FIFO depth on the 64-node fat
+// fractahedron under a fixed random load — the buffering-cost argument of
+// §2 (Dally–Seitz virtual channels "require multiple packet buffers at each
+// router stage... buffering space may dominate the area of a typical
+// router") quantified: how much does depth actually buy?
+func AblationFIFODepth(depths []int, packets, flits int, seed int64) ([]FIFORow, error) {
+	sys, _, err := core.NewFatFractahedron(2)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FIFORow
+	for _, d := range depths {
+		rng := rand.New(rand.NewSource(seed))
+		specs := workload.UniformRandom(rng, 64, packets, flits, packets/2)
+		res, err := sys.Simulate(specs, sim.Config{FIFODepth: d})
+		if err != nil {
+			return nil, err
+		}
+		if res.Deadlocked || res.Delivered != packets {
+			return nil, fmt.Errorf("experiments: FIFO sweep depth %d failed: %+v", d, res)
+		}
+		rows = append(rows, FIFORow{Depth: d, Cycles: res.Cycles, AvgLatency: res.AvgLatency, Throughput: res.ThroughputFPC})
+	}
+	return rows, nil
+}
+
+// AblationFIFOString renders the FIFO sweep.
+func AblationFIFOString(rows []FIFORow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — input FIFO depth on the 64-node fat fractahedron (fixed load)\n")
+	sb.WriteString("  depth | cycles | avg latency | throughput f/c\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d | %6d | %11.1f | %.2f\n", r.Depth, r.Cycles, r.AvgLatency, r.Throughput)
+	}
+	return sb.String()
+}
+
+// RadixRow is one router-radix point of the generalization ablation
+// (§4: "the concepts easily generalize to other fully connected groups of
+// N-port routers").
+type RadixRow struct {
+	Group        int
+	Down         int
+	RouterPorts  int
+	Nodes        int // at Levels=2, fat
+	Routers      int
+	MaxHops      int
+	Contention   int
+	DeadlockFree bool
+}
+
+// AblationRadix builds fat fractahedrons from ensembles of different sizes
+// and compares their figures of merit at two levels.
+func AblationRadix(groups []int) ([]RadixRow, error) {
+	var rows []RadixRow
+	for _, g := range groups {
+		cfg := topology.FractConfig{Group: g, Down: 2, Levels: 2, Fat: true}
+		sys, f, err := core.NewFractahedron(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a, err := sys.Analyze(core.AnalyzeOptions{SkipBisection: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RadixRow{
+			Group:        g,
+			Down:         cfg.Down,
+			RouterPorts:  cfg.RouterPorts(),
+			Nodes:        f.NumNodes(),
+			Routers:      f.NumRouters(),
+			MaxHops:      a.Hops.Max,
+			Contention:   a.Contention.Max,
+			DeadlockFree: a.Deadlock.Free,
+		})
+	}
+	return rows, nil
+}
+
+// AblationRadixString renders the radix generalization table.
+func AblationRadixString(rows []RadixRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — generalized fully-connected groups (fat, 2 levels, 2 down ports)\n")
+	sb.WriteString("  group | router ports | nodes | routers | max hops | contention | deadlock-free\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d | %12d | %5d | %7d | %8d | %8d:1 | %v\n",
+			r.Group, r.RouterPorts, r.Nodes, r.Routers, r.MaxHops, r.Contention, r.DeadlockFree)
+	}
+	return sb.String()
+}
+
+// CableRow is one link-latency point of the cable-length ablation.
+type CableRow struct {
+	LinkLatency int
+	AvgLatency  float64
+	P99Latency  int
+	Throughput  float64
+}
+
+// AblationCableLength sweeps the per-link propagation delay (§1's
+// "up to 30 meters" cables) on the 64-node fat fractahedron under a fixed
+// moderate load: latency grows linearly with cable length while delivered
+// throughput holds, because the wormhole pipeline keeps the wires full.
+func AblationCableLength(latencies []int, packets, flits int, seed int64) ([]CableRow, error) {
+	sys, _, err := core.NewFatFractahedron(2)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CableRow
+	for _, lat := range latencies {
+		rng := rand.New(rand.NewSource(seed))
+		specs := workload.UniformRandom(rng, 64, packets, flits, packets)
+		res, err := sys.Simulate(specs, sim.Config{FIFODepth: 8, LinkLatency: lat})
+		if err != nil {
+			return nil, err
+		}
+		if res.Deadlocked || res.Delivered != packets {
+			return nil, fmt.Errorf("experiments: cable sweep latency %d failed: %+v", lat, res)
+		}
+		rows = append(rows, CableRow{
+			LinkLatency: lat,
+			AvgLatency:  res.AvgLatency,
+			P99Latency:  res.P99Latency,
+			Throughput:  res.ThroughputFPC,
+		})
+	}
+	return rows, nil
+}
+
+// AblationCableString renders the cable-length sweep.
+func AblationCableString(rows []CableRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation - link propagation delay (cable length) on the 64-node fat fractahedron\n")
+	sb.WriteString("  cycles/link | avg latency | p99 latency | throughput f/c\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %11d | %11.1f | %11d | %.2f\n",
+			r.LinkLatency, r.AvgLatency, r.P99Latency, r.Throughput)
+	}
+	return sb.String()
+}
+
+// PartitionRow compares static destination partitions for fat-tree upward
+// routing — the §3.3 argument that NO static partitioning beats 12:1.
+type PartitionRow struct {
+	Name       string
+	Contention int
+}
+
+// AblationFatTreePartitions measures worst-case contention for several
+// distinct static up-path partitions of the 64-node 4-2 fat tree.
+func AblationFatTreePartitions() ([]PartitionRow, error) {
+	ft := topology.NewFatTree(4, 2, 64)
+	tables := []struct {
+		name string
+		tb   *routing.Tables
+	}{
+		{"dst digit (baseline)", routing.FatTreeShifted(ft, 0)},
+		{"dst digit rotated 1", routing.FatTreeShifted(ft, 1)},
+		{"dst digit rotated 2", routing.FatTreeShifted(ft, 2)},
+		{"striped leaf blocks", routing.FatTreeCompact(ft)},
+	}
+	var rows []PartitionRow
+	for _, p := range tables {
+		res, err := contention.MaxLinkContention(p.tb)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PartitionRow{Name: p.name, Contention: res.Max})
+	}
+	return rows, nil
+}
+
+// AblationPartitionsString renders the partition comparison.
+func AblationPartitionsString(rows []PartitionRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — static up-path partitions on the 64-node 4-2 fat tree\n")
+	sb.WriteString("  partition             | max contention\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-21s | %d:1\n", r.Name, r.Contention)
+	}
+	sb.WriteString("  => every static destination partition hits the 12:1 pigeonhole bound (§3.3)\n")
+	return sb.String()
+}

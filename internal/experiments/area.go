@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// AreaRow compares one 64-node design point's total router silicon.
+type AreaRow struct {
+	Design      string
+	Routers     int
+	Ports       int
+	VCs         int
+	Depth       int
+	PerRouter   float64
+	Network     float64
+	BufferShare float64
+}
+
+// SiliconBudget prices the 64-node design alternatives in the abstract
+// gate-unit model: the paper's 6-port single-VC routers (fat tree and fat
+// fractahedron counts), the same networks with Dally–Seitz dual-VC routers,
+// and the 7-port router a 64-node hypercube would need. It quantifies §2's
+// "buffering space may dominate the area of a typical router" and §2.1's
+// price-performance argument for the 6-port part.
+func SiliconBudget(depth int) []AreaRow {
+	m := metrics.DefaultAreaModel()
+	designs := []struct {
+		name           string
+		routers, ports int
+		vcs            int
+	}{
+		{"4-2 fat tree, 1 VC", 28, 6, 1},
+		{"fat fractahedron, 1 VC", 48, 6, 1},
+		{"fat fractahedron, 2 VC", 48, 6, 2},
+		{"hypercube (7-port), 1 VC", 64, 7, 1},
+		{"hypercube (7-port), 2 VC", 64, 7, 2},
+		{"CCC (4-port), 1 VC", 64, 4, 1},
+	}
+	var rows []AreaRow
+	for _, d := range designs {
+		rows = append(rows, AreaRow{
+			Design:      d.name,
+			Routers:     d.routers,
+			Ports:       d.ports,
+			VCs:         d.vcs,
+			Depth:       depth,
+			PerRouter:   m.RouterArea(d.ports, d.vcs, depth),
+			Network:     m.NetworkArea(d.routers, d.ports, d.vcs, depth),
+			BufferShare: m.BufferShare(d.ports, d.vcs, depth),
+		})
+	}
+	return rows
+}
+
+// SiliconBudgetString renders the area comparison.
+func SiliconBudgetString(rows []AreaRow) string {
+	var sb strings.Builder
+	sb.WriteString("Router silicon for 64 nodes (abstract gate units; FIFO depth ")
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "%d flits/VC)\n", rows[0].Depth)
+	} else {
+		sb.WriteString("-)\n")
+	}
+	sb.WriteString("  design                     | routers | ports | VCs | area/router | network area | buffer share\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-26s | %7d | %5d | %3d | %11.0f | %12.0f | %5.1f%%\n",
+			r.Design, r.Routers, r.Ports, r.VCs, r.PerRouter, r.Network, 100*r.BufferShare)
+	}
+	sb.WriteString("  => adding a second VC raises buffer share past half the router — §2's\n")
+	sb.WriteString("     objection — while the fractahedron pays only in router count\n")
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+)
+
+// WriteCSV renders a slice of experiment row structs as CSV: one column per
+// exported field (named by the field), one record per row. Sweep-style
+// experiments use it to produce machine-readable series for plotting
+// (cmd/paper -out writes a .csv next to each .txt when the experiment's
+// result is a row slice).
+func WriteCSV(w io.Writer, rows any) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("experiments: WriteCSV wants a slice, got %T", rows)
+	}
+	cw := csv.NewWriter(w)
+	if v.Len() == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	elemT := v.Index(0).Type()
+	if elemT.Kind() != reflect.Struct {
+		return fmt.Errorf("experiments: WriteCSV wants a slice of structs, got %T", rows)
+	}
+	var header []string
+	var fields []int
+	for i := 0; i < elemT.NumField(); i++ {
+		f := elemT.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int64, reflect.Float64, reflect.String, reflect.Bool:
+			header = append(header, f.Name)
+			fields = append(fields, i)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		rec := make([]string, 0, len(fields))
+		for _, i := range fields {
+			fv := row.Field(i)
+			switch fv.Kind() {
+			case reflect.Int, reflect.Int64:
+				rec = append(rec, strconv.FormatInt(fv.Int(), 10))
+			case reflect.Float64:
+				rec = append(rec, strconv.FormatFloat(fv.Float(), 'g', -1, 64))
+			case reflect.String:
+				rec = append(rec, fv.String())
+			case reflect.Bool:
+				rec = append(rec, strconv.FormatBool(fv.Bool()))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

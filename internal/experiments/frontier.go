@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// FrontierRow is one fractahedral design point on the cost/performance
+// menu.
+type FrontierRow struct {
+	Config         string
+	Nodes          int
+	Routers        int
+	RoutersPerNode float64
+	MaxHops        int
+	Bisection      int
+	BisectionPerNd float64
+	Contention     int
+}
+
+// CostPerformanceFrontier enumerates the fractahedron family's design
+// points — thin vs fat, depth, and ensemble radix — and reports the
+// cost/performance menu §4 claims the topology "allows for tradeoffs
+// between cost and performance" across. Bisection is measured (structural
+// seed cut for the larger instances).
+func CostPerformanceFrontier() ([]FrontierRow, error) {
+	configs := []struct {
+		name string
+		cfg  topology.FractConfig
+	}{
+		{"thin N=1 (tetrahedron)", topology.Tetra(1, false)},
+		{"thin N=2", topology.Tetra(2, false)},
+		{"fat N=2", topology.Tetra(2, true)},
+		{"thin N=3", topology.Tetra(3, false)},
+		{"fat N=3", topology.Tetra(3, true)},
+		{"fat N=2, group 3", topology.FractConfig{Group: 3, Down: 2, Levels: 2, Fat: true}},
+		{"fat N=2, group 5", topology.FractConfig{Group: 5, Down: 2, Levels: 2, Fat: true}},
+	}
+	var rows []FrontierRow
+	for _, c := range configs {
+		sys, f, err := core.NewFractahedron(c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := FrontierRow{
+			Config:         c.name,
+			Nodes:          f.NumNodes(),
+			Routers:        f.NumRouters(),
+			RoutersPerNode: float64(f.NumRouters()) / float64(f.NumNodes()),
+		}
+		if f.NumNodes() <= 128 {
+			res, err := contention.MaxLinkContention(sys.Tables)
+			if err != nil {
+				return nil, err
+			}
+			row.Contention = res.Max
+			hops, err := metrics.Hops(sys.Tables)
+			if err != nil {
+				return nil, err
+			}
+			row.MaxHops = hops.Max
+			row.Bisection = metrics.Bisection(f.Network, 2, 1).Cut
+		} else {
+			// Large instances: formula-grade values (verified at smaller
+			// depths by the tests).
+			if c.cfg.Fat {
+				row.MaxHops = 3*c.cfg.Levels - 1
+			} else {
+				row.MaxHops = 4*c.cfg.Levels - 2
+			}
+			row.Bisection = metrics.Bisection(f.Network, 0, 1).Cut
+			row.Contention = -1
+		}
+		row.BisectionPerNd = float64(row.Bisection) / float64(row.Nodes)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FrontierString renders the cost/performance menu.
+func FrontierString(rows []FrontierRow) string {
+	var sb strings.Builder
+	sb.WriteString("§4 — fractahedral cost/performance menu\n")
+	sb.WriteString("  config                 | nodes | routers | rtr/node | max hops | bisection (per node) | contention\n")
+	for _, r := range rows {
+		cont := "-"
+		if r.Contention > 0 {
+			cont = fmt.Sprintf("%d:1", r.Contention)
+		}
+		fmt.Fprintf(&sb, "  %-22s | %5d | %7d | %8.3f | %8d | %9d (%.3f) | %s\n",
+			r.Config, r.Nodes, r.Routers, r.RoutersPerNode, r.MaxHops, r.Bisection, r.BisectionPerNd, cont)
+	}
+	sb.WriteString("  => depth buys scale, layers buy bandwidth, radix buys ports —\n")
+	sb.WriteString("     each dimension trades routers for performance independently\n")
+	return sb.String()
+}

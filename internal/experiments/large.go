@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// LargeSimRow is one 512-node simulation point.
+type LargeSimRow struct {
+	Topology   string
+	Nodes      int
+	Routers    int
+	Rate       float64
+	Delivered  int
+	AvgLatency float64
+	Throughput float64
+	Deadlocked bool
+}
+
+// LargeSim is §4's stated future work taken literally: flit-level
+// simulation of LARGE fractahedral topologies under load. It runs open-loop
+// Bernoulli traffic over the 512-node thin and fat N=3 fractahedrons and
+// reports the latency/throughput points; the thin variant's 4-link
+// bisection saturates it far below the fat variant's 64.
+func LargeSim(rates []float64, cycles, flits int, seed int64) ([]LargeSimRow, error) {
+	fat, fatF, err := core.NewFatFractahedron(3)
+	if err != nil {
+		return nil, err
+	}
+	thin, thinF, err := core.NewThinFractahedron(3)
+	if err != nil {
+		return nil, err
+	}
+	systems := []struct {
+		name    string
+		sys     *core.System
+		routers int
+	}{
+		{"fat fractahedron N=3", fat, fatF.NumRouters()},
+		{"thin fractahedron N=3", thin, thinF.NumRouters()},
+	}
+
+	var rows []LargeSimRow
+	for _, rate := range rates {
+		for _, s := range systems {
+			rng := rand.New(rand.NewSource(seed))
+			specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), cycles, flits, rate)
+			res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4, MaxCycles: 60 * cycles})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, LargeSimRow{
+				Topology:   s.name,
+				Nodes:      s.sys.Net.NumNodes(),
+				Routers:    s.routers,
+				Rate:       rate,
+				Delivered:  res.Delivered,
+				AvgLatency: res.AvgLatency,
+				Throughput: res.ThroughputFPC,
+				Deadlocked: res.Deadlocked,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// LargeSimString renders the 512-node simulation points.
+func LargeSimString(rows []LargeSimRow) string {
+	var sb strings.Builder
+	sb.WriteString("§4 — simulation of large topologies (512 nodes, open-loop Bernoulli)\n")
+	sb.WriteString("  topology               | routers | rate  | delivered | avg latency | throughput f/c | deadlocked\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-22s | %7d | %.3f | %9d | %11.1f | %14.2f | %v\n",
+			r.Topology, r.Routers, r.Rate, r.Delivered, r.AvgLatency, r.Throughput, r.Deadlocked)
+	}
+	sb.WriteString("  => the thin variant's fixed 4-link bisection caps its throughput;\n")
+	sb.WriteString("     the fat variant's 64-link bisection keeps absorbing load\n")
+	return sb.String()
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Rendering smoke tests: every experiment's String form must carry its
+// header and its row content. Rows are constructed directly so the test is
+// instant.
+func TestRenderers(t *testing.T) {
+	cases := []struct {
+		name     string
+		text     string
+		contains []string
+	}{
+		{
+			"figure1",
+			Figure1Result{UnrestrictedDeadlocked: true, WaitCycleLen: 4,
+				WaitCycle: []string{"R0[0] -> R1[1]"}, RestrictedDelivered: 4}.String(),
+			[]string{"Figure 1", "deadlocked=true", "R0[0] -> R1[1]", "4/4"},
+		},
+		{
+			"figure2",
+			Figure2Result{Dim: 3, UpDownFree: true, ECubeFree: true,
+				UpDownMin: 1, UpDownMax: 9, UpDownRatio: 9, ECubeRatio: 1}.String(),
+			[]string{"Figure 2", "1/9", "9.00x"},
+		},
+		{
+			"figure3",
+			Figure3String([]Figure3Row{{Routers: 4, NodePorts: 12, InterLinks: 6, MaxContention: 3}}),
+			[]string{"Figure 3", "12", "3:1"},
+		},
+		{
+			"figure5",
+			Figure5String([]Figure5Row{{Levels: 2, Nodes: 64, Routers: 36, MaxHops: 6, Formula: 6, AvgHops: 4.97}}),
+			[]string{"Figures 4/5", "6 (6)", "4.97"},
+		},
+		{
+			"table1",
+			Table1String([]Table1Row{{Levels: 2, Fat: true, MaxNodes: 128, MaxNodesFormula: 128,
+				MaxDelay: 5, MaxDelayFormula: 5, Bisection: 16, BisectionFat4N: 8, BisectionFat4PowN: 16}}),
+			[]string{"Table 1", "fat", "4^N=16", "superscript"},
+		},
+		{
+			"table2",
+			Table2Result{Rows: []Table2Row{{Name: "fat fractahedron", Routers: 48,
+				AvgHops: 4.30, MaxHops: 5, MaxContention: 8, PaperContention: 4,
+				Bisection: 16, DeadlockFree: true}}, FractIntraL2: 4}.String(),
+			[]string{"Table 2", "fat fractahedron", "8:1 (4:1)", "intra-level-2): 4:1"},
+		},
+		{
+			"mesh",
+			Section31String([]MeshRow{{Cols: 6, Rows: 6, Nodes: 72, Routers: 36,
+				MaxHops: 11, PaperMaxHops: 11, MaxContention: 10}}),
+			[]string{"§3.1", "11 (11)", "10:1"},
+		},
+		{
+			"hypercube",
+			Section32String([]HypercubeRow{{Dim: 6, Routers: 64, Nodes: 64, PortsNeeded: 7, Bisection: 32}}),
+			[]string{"§3.2", "7", "needs 7 ports"},
+		},
+		{
+			"fattree",
+			FatTreeResult{Routers: 28, Levels: 3, AvgHops: 4.43, MaxContention: 12,
+				Bisection: 8, DeadlockFree: true, PaperSet: 3, WitnessSet: 12}.String(),
+			[]string{"§3.3", "routers=28", "12:1", "pigeonhole"},
+		},
+		{
+			"deadlock",
+			DeadlockSummaryString([]DeadlockRow{{Topology: "ring-4", Algorithm: "ring-cw",
+				Channels: 16, Deps: 12, Free: false}}),
+			[]string{"verification matrix", "ring-cw", "false"},
+		},
+		{
+			"avoidance",
+			DeadlockAvoidanceString([]AvoidanceRow{{Scheme: "virtual channels (Dally-Seitz)",
+				BuffersPerPort: 8, Delivered: 4}}),
+			[]string{"deadlock handling", "virtual channels", "8"},
+		},
+		{
+			"zoo",
+			BackgroundString([]BackgroundRow{{Name: "cube-connected cycles", Nodes: 64,
+				Routers: 64, PortsPer: 4, MaxHops: 15, AvgHops: 7.26, Stretch: 1.5,
+				Contention: 26, Bisection: 8, DeadlockFree: true}}),
+			[]string{"topology zoo", "cube-connected cycles", "26:1"},
+		},
+		{
+			"tables",
+			TableSizesString([]RegionRow{{Name: "hypercube-6 (e-cube)", Nodes: 64,
+				Routers: 64, Min: 64, Max: 64, Mean: 64}}),
+			[]string{"regions", "hypercube-6", "64"},
+		},
+		{
+			"linkclass",
+			FractLinkClassesString([]LinkClassRow{{Class: "down L2->L1", Links: 32,
+				MinLoad: 112, MaxLoad: 112, MeanLoad: 112, Contention: 8}}),
+			[]string{"Link classes", "down L2->L1", "8:1"},
+		},
+		{
+			"silicon",
+			SiliconBudgetString(SiliconBudget(4)),
+			[]string{"silicon", "2 VC", "buffer share"},
+		},
+		{
+			"locality",
+			LocalitySweepString([]LocalityRow{{LocalFrac: 0.9, Topology: "4-2 fat tree",
+				AvgLatency: 68, Throughput: 13.28}}),
+			[]string{"locality sweep", "0.90", "13.28"},
+		},
+		{
+			"permutations",
+			PermutationStudyString([]PermRow{{Pattern: "tornado", Topology: "fat fractahedron",
+				Transfers: 64, Cycles: 36, AvgLatency: 24, Throughput: 14.22}}),
+			[]string{"Permutation", "tornado", "14.22"},
+		},
+		{
+			"saturation",
+			SaturationString([]SaturationRow{{Topology: "thin fractahedron",
+				BaseLatency: 13.4, SatOffered: 0.081, SatThroughput: 4.05}}),
+			[]string{"Saturation", "thin fractahedron", "4.05"},
+		},
+		{
+			"failover",
+			FailoverResult{Packets: 400, FaultCycle: 60, DeliveredX: 371, Dropped: 29,
+				FailedOver: 29, DeliveredY: 29}.String(),
+			[]string{"failover", "killed 29", "lost end to end: 0"},
+		},
+		{
+			"large",
+			LargeSimString([]LargeSimRow{{Topology: "thin fractahedron N=3", Nodes: 512,
+				Routers: 292, Rate: 0.03, Delivered: 22811, AvgLatency: 15558.9, Throughput: 5.52}}),
+			[]string{"large topologies", "thin fractahedron N=3", "5.52"},
+		},
+		{
+			"sweep",
+			SimSweepString([]SweepRow{{Topology: "4-2 fat tree", Rate: 0.05, Offered: 0.4,
+				Delivered: 6373, AvgLatency: 1380.6, Throughput: 10.3}}),
+			[]string{"future work", "4-2 fat tree", "1380.6"},
+		},
+		{
+			"db",
+			DatabaseScenarioString([]DBScenarioRow{{Topology: "fat fractahedron", Streams: 8,
+				Transfers: 128, Cycles: 2051, PerStreamBW: 0.1248, OrderKept: true}}),
+			[]string{"database query", "0.1248", "1/contention"},
+		},
+		{
+			"fifo",
+			AblationFIFOString([]FIFORow{{Depth: 4, Cycles: 274, AvgLatency: 70.2, Throughput: 8.76}}),
+			[]string{"FIFO depth", "274"},
+		},
+		{
+			"radix",
+			AblationRadixString([]RadixRow{{Group: 5, Down: 2, RouterPorts: 7, Nodes: 100,
+				Routers: 75, MaxHops: 5, Contention: 10, DeadlockFree: true}}),
+			[]string{"generalized", "10:1"},
+		},
+		{
+			"cable",
+			AblationCableString([]CableRow{{LinkLatency: 4, AvgLatency: 110.8, P99Latency: 335, Throughput: 5.52}}),
+			[]string{"propagation delay", "335"},
+		},
+		{
+			"frontier",
+			FrontierString([]FrontierRow{{Config: "fat N=2", Nodes: 64, Routers: 48,
+				RoutersPerNode: 0.75, MaxHops: 5, Bisection: 16, BisectionPerNd: 0.25, Contention: 8}}),
+			[]string{"cost/performance", "fat N=2", "8:1"},
+		},
+		{
+			"partitions",
+			AblationPartitionsString([]PartitionRow{{Name: "striped leaf blocks", Contention: 12}}),
+			[]string{"partitions", "striped leaf blocks", "12:1"},
+		},
+	}
+	for _, c := range cases {
+		for _, want := range c.contains {
+			if !strings.Contains(c.text, want) {
+				t.Errorf("%s: output missing %q:\n%s", c.name, want, c.text)
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []SweepRow{
+		{Topology: "fat fractahedron", Rate: 0.05, Offered: 0.4, Delivered: 6373,
+			AvgLatency: 312.2, Throughput: 17.67},
+		{Topology: "4-2 fat tree", Rate: 0.05, Offered: 0.4, Delivered: 6373,
+			AvgLatency: 1380.6, Throughput: 10.3, Deadlocked: false},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Topology,Rate,Offered", "fat fractahedron,0.05", "17.67", "false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteCSV(&sb, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := WriteCSV(&sb, []int{1}); err == nil {
+		t.Error("non-struct slice accepted")
+	}
+	if err := WriteCSV(&sb, []SweepRow{}); err != nil {
+		t.Errorf("empty slice: %v", err)
+	}
+}

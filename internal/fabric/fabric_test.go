@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func buildFract() (*topology.Network, *routing.Tables) {
+	f := topology.NewFractahedron(topology.Tetra(1, false))
+	return f.Network, routing.Fractahedron(f)
+}
+
+func TestDualHealthy(t *testing.T) {
+	d, err := NewDual(buildFract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults()
+	r, fab, err := d.RouteWithFailover(faults, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fab != X {
+		t.Errorf("healthy network routed on %v, want X", fab)
+	}
+	if r.Src != 0 || r.Dst != 7 {
+		t.Errorf("route endpoints %d->%d", r.Src, r.Dst)
+	}
+	s, err := d.Survey(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OnX != s.Pairs || s.OnY != 0 || s.Severed != 0 {
+		t.Errorf("healthy survey: %+v", s)
+	}
+}
+
+func TestFailoverOnLinkFault(t *testing.T) {
+	d, err := NewDual(buildFract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults()
+	// Kill the first inter-router link of fabric X.
+	for _, l := range d.Net[X].Links() {
+		a := d.Net[X].Device(l.A.Device)
+		b := d.Net[X].Device(l.B.Device)
+		if a.Kind == topology.Router && b.Kind == topology.Router {
+			faults.KillLink(X, l.ID)
+			break
+		}
+	}
+	s, err := d.Survey(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Severed != 0 {
+		t.Errorf("single link fault severed %d pairs; dual fabric must survive", s.Severed)
+	}
+	if s.OnY == 0 {
+		t.Error("no pair failed over to Y despite an X fault")
+	}
+	if s.OnX == 0 {
+		t.Error("unaffected pairs should stay on X")
+	}
+}
+
+func TestRouterFaultFailover(t *testing.T) {
+	d, err := NewDual(buildFract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults()
+	// Kill router 0 of fabric X: every pair whose route touches it must
+	// move to Y; no pair may be severed.
+	for _, dev := range d.Net[X].Devices() {
+		if dev.Kind == topology.Router {
+			faults.KillRouter(X, dev.ID)
+			break
+		}
+	}
+	s, err := d.Survey(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Severed != 0 {
+		t.Errorf("router fault severed %d pairs", s.Severed)
+	}
+	if s.OnY == 0 {
+		t.Error("router fault caused no failovers")
+	}
+}
+
+func TestDoubleFaultCanSever(t *testing.T) {
+	d, err := NewDual(buildFract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults()
+	// Kill node 0's injection link on BOTH fabrics: node 0 is isolated.
+	for _, fab := range []FabricID{X, Y} {
+		node := d.Net[fab].NodeByIndex(0)
+		l, ok := d.Net[fab].LinkAt(node, 0)
+		if !ok {
+			t.Fatal("node 0 unwired")
+		}
+		faults.KillLink(fab, l)
+	}
+	s, err := d.Survey(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 participates in 2*(n-1) = 14 ordered pairs.
+	if s.Severed != 14 {
+		t.Errorf("severed = %d, want 14", s.Severed)
+	}
+	if _, _, err := d.RouteWithFailover(faults, 0, 3); err == nil {
+		t.Error("isolated node still routed")
+	}
+}
+
+// Fractahedral and dimension-order routings are reflexive; strictly
+// clockwise ring routing is not.
+func TestReflexivity(t *testing.T) {
+	_, tb := buildFract()
+	if ok, err := Reflexive(tb); err != nil || !ok {
+		t.Errorf("fractahedral routing reflexive=%v err=%v, want true", ok, err)
+	}
+	rg := topology.NewRing(4, 1)
+	cw := routing.RingClockwise(rg)
+	if ok, err := Reflexive(cw); err != nil || ok {
+		t.Errorf("clockwise ring reflexive=%v err=%v, want false", ok, err)
+	}
+}
+
+// §2: with non-reflexive routing, a single dead link makes pairs whose
+// FORWARD path is perfectly healthy unusable, because their ack path dies.
+func TestAckImpactNonReflexive(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	cw := routing.RingClockwise(rg)
+	faults := NewFaults()
+	l, _ := rg.LinkAt(rg.Routers[0], topology.RingPortCW) // link 0 -> 1
+	faults.KillLink(X, l)
+
+	fwdOK, unusable, err := AckImpact(cw, faults, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unusable == 0 {
+		t.Error("non-reflexive routing shows no ack-path impact")
+	}
+	// Reflexive routing on the same ring: zero ack-only losses.
+	seam := routing.RingSeamless(rg)
+	if ok, _ := Reflexive(seam); !ok {
+		t.Fatal("seamless ring routing should be reflexive")
+	}
+	fwdOK2, unusable2, err := AckImpact(seam, faults, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unusable2 != 0 {
+		t.Errorf("reflexive routing reports %d ack-only losses", unusable2)
+	}
+	_ = fwdOK
+	_ = fwdOK2
+}
+
+// Load sharing across healthy dual fabrics roughly halves the worst-case
+// contention: the fat-tree pair drops from 12:1 to 6:1.
+func TestSharedContentionHalves(t *testing.T) {
+	d, err := NewDual(func() (*topology.Network, *routing.Tables) {
+		ft := topology.NewFatTree(4, 2, 64)
+		return ft.Network, routing.FatTree(ft)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := d.SharedContention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared >= 12 {
+		t.Errorf("load-shared contention = %d, expected below the single-fabric 12", shared)
+	}
+	if shared < 4 {
+		t.Errorf("load-shared contention = %d suspiciously low", shared)
+	}
+}
+
+func TestBalanceDeterministic(t *testing.T) {
+	if Balance(3, 5) != X || Balance(3, 6) != Y {
+		t.Error("balance rule wrong")
+	}
+}
+
+func TestFaultAccounting(t *testing.T) {
+	f := NewFaults()
+	if f.Count() != 0 {
+		t.Error("fresh fault set not empty")
+	}
+	f.KillLink(X, 3)
+	f.KillRouter(Y, 7)
+	if f.Count() != 2 {
+		t.Errorf("count = %d", f.Count())
+	}
+	if X.String() != "X" || Y.String() != "Y" {
+		t.Error("fabric names wrong")
+	}
+}

@@ -1,0 +1,218 @@
+package graph
+
+import "math/rand"
+
+// BisectionProblem describes a balanced minimum-bisection instance: split
+// the weighted vertices ("terminals", Weight > 0) of an undirected graph
+// into two sides of equal total weight so that the number of crossing edges
+// is minimal. Zero-weight vertices (routers, in the network use case) may be
+// placed on either side and are assigned optimally by a minimum s-t cut once
+// the terminal sides are fixed.
+type BisectionProblem struct {
+	G      *Ugraph
+	Weight []int // per-vertex weight; the total must be even
+
+	// Seeds are optional candidate side assignments (one bool per vertex;
+	// only terminal entries are consulted). Topology builders use them to
+	// inject structural cuts that the local search then tries to improve.
+	Seeds [][]bool
+}
+
+// BisectionResult reports the best bisection found.
+type BisectionResult struct {
+	Cut   int    // number of crossing edges
+	Side  []bool // side per vertex (true = right)
+	Exact bool   // true when the terminal assignment space was enumerated
+}
+
+// MinBisection solves a BisectionProblem. When the number of terminals is at
+// most exactLimit (after fixing one terminal by symmetry) the terminal
+// assignments are enumerated and the result is exact; otherwise a local
+// pair-swap search with the given number of random restarts is used and the
+// result is the best cut found. Every evaluation assigns the zero-weight
+// vertices optimally via max-flow, so reported cuts are always achievable.
+func MinBisection(p BisectionProblem, restarts int, seed int64) BisectionResult {
+	terminals := terminalsOf(p)
+	total := 0
+	for _, t := range terminals {
+		total += p.Weight[t]
+	}
+	if total%2 != 0 {
+		panic("graph: MinBisection requires even total weight")
+	}
+	half := total / 2
+
+	const exactLimit = 16
+	if len(terminals) <= exactLimit {
+		return exactBisection(p, terminals, half)
+	}
+	return searchBisection(p, terminals, half, restarts, seed)
+}
+
+func terminalsOf(p BisectionProblem) []int {
+	var ts []int
+	for v := 0; v < p.G.N(); v++ {
+		if p.Weight[v] > 0 {
+			ts = append(ts, v)
+		}
+	}
+	return ts
+}
+
+// evalCut computes the minimum crossing-edge count over placements of the
+// zero-weight vertices, given fixed sides for the terminals, and fills in
+// the full side assignment.
+func evalCut(p BisectionProblem, termSide map[int]bool) (int, []bool) {
+	n := p.G.N()
+	s, t := n, n+1
+	f := NewFlowNetwork(n + 2)
+	const inf = int64(1) << 40
+	for v, right := range termSide {
+		if right {
+			f.AddEdge(v, t, inf)
+		} else {
+			f.AddEdge(s, v, inf)
+		}
+	}
+	for _, e := range p.G.Edges() {
+		f.AddEdge(e[0], e[1], 1)
+		f.AddEdge(e[1], e[0], 1)
+	}
+	cut := f.MaxFlow(s, t)
+	reach := f.MinCutSide(s)
+	side := make([]bool, n)
+	for v := 0; v < n; v++ {
+		side[v] = !reach[v]
+	}
+	return int(cut), side
+}
+
+func exactBisection(p BisectionProblem, terminals []int, half int) BisectionResult {
+	best := BisectionResult{Cut: -1, Exact: true}
+	k := len(terminals)
+	if k == 0 {
+		side := make([]bool, p.G.N())
+		return BisectionResult{Cut: 0, Side: side, Exact: true}
+	}
+	// Fix terminal 0 on the left to halve the space; enumerate subsets of
+	// the rest whose weight reaches half on the right.
+	for mask := 0; mask < 1<<(k-1); mask++ {
+		w := 0
+		for i := 0; i < k-1; i++ {
+			if mask&(1<<i) != 0 {
+				w += p.Weight[terminals[i+1]]
+			}
+		}
+		if w != half {
+			continue
+		}
+		termSide := make(map[int]bool, k)
+		termSide[terminals[0]] = false
+		for i := 0; i < k-1; i++ {
+			termSide[terminals[i+1]] = mask&(1<<i) != 0
+		}
+		cut, side := evalCut(p, termSide)
+		if best.Cut == -1 || cut < best.Cut {
+			best.Cut, best.Side = cut, side
+		}
+	}
+	return best
+}
+
+func searchBisection(p BisectionProblem, terminals []int, half int, restarts int, seed int64) BisectionResult {
+	rng := rand.New(rand.NewSource(seed))
+	best := BisectionResult{Cut: -1}
+
+	// Each improvement pass tries at most this many candidate swaps, so the
+	// search stays tractable on instances with hundreds of terminals.
+	const maxSwapTries = 512
+
+	improve := func(termSide map[int]bool) {
+		cut, side := evalCut(p, termSide)
+		// Pair-swap local search: swap one left terminal with one right
+		// terminal of equal weight; keep any strict improvement.
+		for improved := true; improved; {
+			improved = false
+			var lefts, rights []int
+			for _, t := range terminals {
+				if termSide[t] {
+					rights = append(rights, t)
+				} else {
+					lefts = append(lefts, t)
+				}
+			}
+			rng.Shuffle(len(lefts), func(i, j int) { lefts[i], lefts[j] = lefts[j], lefts[i] })
+			rng.Shuffle(len(rights), func(i, j int) { rights[i], rights[j] = rights[j], rights[i] })
+			tries := 0
+		swap:
+			for _, l := range lefts {
+				for _, r := range rights {
+					if p.Weight[l] != p.Weight[r] {
+						continue
+					}
+					if tries++; tries > maxSwapTries {
+						break swap
+					}
+					termSide[l], termSide[r] = true, false
+					c2, s2 := evalCut(p, termSide)
+					if c2 < cut {
+						cut, side = c2, s2
+						improved = true
+						break swap
+					}
+					termSide[l], termSide[r] = false, true
+				}
+			}
+		}
+		if best.Cut == -1 || cut < best.Cut {
+			best.Cut, best.Side = cut, side
+		}
+	}
+
+	// Seeds first: structural cuts provided by topology builders.
+	for _, seedSide := range p.Seeds {
+		termSide := make(map[int]bool, len(terminals))
+		w := 0
+		for _, t := range terminals {
+			termSide[t] = seedSide[t]
+			if seedSide[t] {
+				w += p.Weight[t]
+			}
+		}
+		if w != half {
+			continue // unbalanced seed: ignore
+		}
+		improve(termSide)
+	}
+
+	for r := 0; r < restarts; r++ {
+		termSide := randomBalanced(terminals, p.Weight, half, rng)
+		if termSide == nil {
+			break
+		}
+		improve(termSide)
+	}
+	return best
+}
+
+// randomBalanced produces a random terminal assignment with right weight
+// exactly half. Terminals are shuffled and greedily assigned; with uniform
+// weights this always succeeds.
+func randomBalanced(terminals []int, weight []int, half int, rng *rand.Rand) map[int]bool {
+	order := append([]int(nil), terminals...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	termSide := make(map[int]bool, len(order))
+	w := 0
+	for _, t := range order {
+		if w+weight[t] <= half {
+			termSide[t] = true
+			w += weight[t]
+		} else {
+			termSide[t] = false
+		}
+	}
+	if w != half {
+		return nil
+	}
+	return termSide
+}

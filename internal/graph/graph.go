@@ -1,0 +1,124 @@
+// Package graph provides the generic graph algorithms that underpin the
+// topology, routing and analysis packages: directed and undirected graphs,
+// breadth-first distances, cycle detection, strongly connected components,
+// maximum bipartite matching (Hopcroft–Karp), maximum flow (Dinic) and
+// balanced minimum-bisection search.
+//
+// Vertices are dense integers in [0, N). All algorithms are deterministic;
+// where randomized restarts are used (bisection search) the random source is
+// seeded explicitly by the caller.
+package graph
+
+import "fmt"
+
+// Digraph is a directed graph over vertices 0..N-1 stored as adjacency
+// lists. Parallel edges are permitted; they are meaningful for multigraph
+// models (two cables between the same pair of routers).
+type Digraph struct {
+	adj [][]int
+}
+
+// NewDigraph returns an empty directed graph with n vertices.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Digraph{adj: make([][]int, n)}
+}
+
+// N reports the number of vertices.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// M reports the number of edges.
+func (g *Digraph) M() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m
+}
+
+// AddEdge inserts the directed edge u -> v.
+func (g *Digraph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Out returns the out-neighbors of u. The returned slice is shared with the
+// graph and must not be modified.
+func (g *Digraph) Out(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// HasEdge reports whether at least one edge u -> v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Digraph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Ugraph is an undirected graph over vertices 0..N-1. Each undirected edge
+// {u,v} is stored in both adjacency lists. Parallel edges are permitted.
+type Ugraph struct {
+	adj   [][]int
+	edges [][2]int
+}
+
+// NewUgraph returns an empty undirected graph with n vertices.
+func NewUgraph(n int) *Ugraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Ugraph{adj: make([][]int, n)}
+}
+
+// N reports the number of vertices.
+func (g *Ugraph) N() int { return len(g.adj) }
+
+// M reports the number of undirected edges.
+func (g *Ugraph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u,v}.
+func (g *Ugraph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges = append(g.edges, [2]int{u, v})
+}
+
+// Adj returns the neighbors of u (with multiplicity for parallel edges).
+// The returned slice is shared with the graph and must not be modified.
+func (g *Ugraph) Adj(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Edges returns the edge list. The returned slice is shared with the graph
+// and must not be modified.
+func (g *Ugraph) Edges() [][2]int { return g.edges }
+
+// Degree reports the degree of u, counting parallel edges.
+func (g *Ugraph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+func (g *Ugraph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+// MaxBipartiteMatching computes the size of a maximum matching in a
+// bipartite graph with nLeft left vertices and nRight right vertices, where
+// adj[u] lists the right vertices adjacent to left vertex u. It implements
+// Hopcroft–Karp, O(E * sqrt(V)).
+//
+// The returned matchL maps each left vertex to its matched right vertex or
+// -1 if unmatched.
+func MaxBipartiteMatching(nLeft, nRight int, adj [][]int) (size int, matchL []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for i := 0; i < len(queue); i++ {
+			u := queue[i]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return size, matchL
+}

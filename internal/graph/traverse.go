@@ -1,0 +1,106 @@
+package graph
+
+// Unreachable is the distance reported by BFS for vertices that cannot be
+// reached from the source.
+const Unreachable = -1
+
+// BFS returns the hop distance from src to every vertex of the directed
+// graph, or Unreachable where no path exists.
+func (g *Digraph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFS returns the hop distance from src to every vertex of the undirected
+// graph, or Unreachable where no path exists.
+func (g *Ugraph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairs returns the matrix of BFS distances between every pair of
+// vertices of the undirected graph.
+func (g *Ugraph) AllPairs() [][]int {
+	d := make([][]int, g.N())
+	for u := range d {
+		d[u] = g.BFS(u)
+	}
+	return d
+}
+
+// Connected reports whether the undirected graph is connected. The empty
+// graph is considered connected.
+func (g *Ugraph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns a component index per vertex and the component count
+// for the undirected graph.
+func (g *Ugraph) Components() (comp []int, count int) {
+	comp = make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}

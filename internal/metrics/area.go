@@ -1,0 +1,54 @@
+package metrics
+
+import "fmt"
+
+// Router area model. §2 of the paper rejects virtual-channel deadlock
+// avoidance because "the cost of the buffers can be quite significant
+// because buffering space may dominate the area of a typical router", and
+// §2.1 notes the 6-port router "offers the best price-performance point
+// given the available pins and gates". This model makes those trade-offs
+// numeric in abstract gate units: a P-port crossbar grows as P^2, each
+// buffered flit costs a constant, and each virtual channel multiplies the
+// buffer count.
+
+// AreaModel holds the cost coefficients, in arbitrary gate units.
+type AreaModel struct {
+	CrossbarPerPort2 float64 // crossbar cost per port^2
+	GatesPerFlit     float64 // buffer cost per stored flit
+	ControlPerPort   float64 // arbitration/table logic per port
+}
+
+// DefaultAreaModel weights buffers heavily relative to the crossbar,
+// following the paper's remark that buffering dominates. The absolute units
+// are arbitrary; only ratios are meaningful.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{CrossbarPerPort2: 1, GatesPerFlit: 8, ControlPerPort: 4}
+}
+
+// RouterArea estimates the area of one router with the given port count,
+// virtual channels per port, and FIFO depth (flits) per virtual channel.
+func (m AreaModel) RouterArea(ports, vcs, depth int) float64 {
+	if ports < 1 || vcs < 1 || depth < 0 {
+		panic(fmt.Sprintf("metrics: bad router shape ports=%d vcs=%d depth=%d", ports, vcs, depth))
+	}
+	crossbar := m.CrossbarPerPort2 * float64(ports*ports)
+	buffers := m.GatesPerFlit * float64(ports*vcs*depth)
+	control := m.ControlPerPort * float64(ports*vcs)
+	return crossbar + buffers + control
+}
+
+// NetworkArea estimates total router silicon for a network of identical
+// routers.
+func (m AreaModel) NetworkArea(routers, ports, vcs, depth int) float64 {
+	return float64(routers) * m.RouterArea(ports, vcs, depth)
+}
+
+// BufferShare reports the fraction of a router's area spent on buffering —
+// the quantity behind §2's objection to virtual channels.
+func (m AreaModel) BufferShare(ports, vcs, depth int) float64 {
+	total := m.RouterArea(ports, vcs, depth)
+	if total == 0 {
+		return 0
+	}
+	return m.GatesPerFlit * float64(ports*vcs*depth) / total
+}

@@ -1,0 +1,160 @@
+package routing
+
+import (
+	"repro/internal/topology"
+)
+
+// FullMesh routes a fully-connected router group (Figure 3): a packet not
+// at its destination's router crosses the single intra-group link toward it.
+// Routing consults only the high bits of the destination address — the
+// property §2.1 highlights for the four-router tetrahedron.
+func FullMesh(fm *topology.FullMesh) *Tables {
+	idx := make(map[topology.DeviceID]int, fm.M)
+	for i, r := range fm.Routers {
+		idx[r] = i
+	}
+	return Build(fm.Network, "fullmesh", func(router topology.DeviceID, dst int) int {
+		r := idx[router]
+		dr := fm.RouterOfNode(dst)
+		if r == dr {
+			return fm.NodePort(dst)
+		}
+		return fm.IntraPort(r, dr)
+	})
+}
+
+// MeshDimOrder routes a 2-D mesh with dimension-order routing (§2's
+// deadlock-avoidance technique and §3.1's baseline). With yFirst true the
+// packet first corrects its row, then its column — the orientation under
+// which the paper's worst-case transfers all turn at the same corner.
+func MeshDimOrder(m *topology.Mesh, yFirst bool) *Tables {
+	name := "mesh-xy"
+	if yFirst {
+		name = "mesh-yx"
+	}
+	return Build(m.Network, name, func(router topology.DeviceID, dst int) int {
+		x, y := m.Coord(router)
+		dx, dy := m.NodeCoord(dst)
+		stepX := func() int {
+			if dx > x {
+				return topology.MeshPortXPlus
+			}
+			return topology.MeshPortXMinus
+		}
+		stepY := func() int {
+			if dy > y {
+				return topology.MeshPortYPlus
+			}
+			return topology.MeshPortYMinus
+		}
+		switch {
+		case yFirst && dy != y:
+			return stepY()
+		case dx != x:
+			return stepX()
+		case dy != y:
+			return stepY()
+		default:
+			return m.NodePort(dst)
+		}
+	})
+}
+
+// HypercubeECube routes a hypercube with dimension-order (e-cube) routing:
+// differing address bits are corrected from the lowest dimension up. This is
+// the restrictive deadlock-free baseline §2 describes.
+func HypercubeECube(h *topology.Hypercube) *Tables {
+	idx := make(map[topology.DeviceID]int, len(h.Routers))
+	for i, r := range h.Routers {
+		idx[r] = i
+	}
+	return Build(h.Network, "hypercube-ecube", func(router topology.DeviceID, dst int) int {
+		w := idx[router]
+		d := h.RouterOfNode(dst)
+		diff := w ^ d
+		if diff == 0 {
+			return h.NodePort(dst)
+		}
+		for k := 0; k < h.Dim; k++ {
+			if diff&(1<<k) != 0 {
+				return k
+			}
+		}
+		panic("unreachable")
+	})
+}
+
+// HypercubeUpDown routes a hypercube with the path-disable discipline of
+// Figure 2, expressed as an up*/down* order rooted at router 0: a packet
+// first clears the address bits it has in excess of the destination
+// (descending toward the root), then sets the bits it is missing (ascending
+// away from it). Every minimal route of this shape is permitted; the
+// dependency "set then clear" never occurs, so all cycles — faces as well
+// as the 6- and 8-link loops — are broken. The cost is the uneven link
+// utilization §2 describes: links incident to router 0 carry through
+// traffic while links near the all-ones router serve only that corner.
+func HypercubeUpDown(h *topology.Hypercube) *Tables {
+	idx := make(map[topology.DeviceID]int, len(h.Routers))
+	for i, r := range h.Routers {
+		idx[r] = i
+	}
+	return Build(h.Network, "hypercube-updown", func(router topology.DeviceID, dst int) int {
+		w := idx[router]
+		d := h.RouterOfNode(dst)
+		if w == d {
+			return h.NodePort(dst)
+		}
+		if extra := w &^ d; extra != 0 {
+			return lowestBit(extra) // clear phase, toward the root
+		}
+		return lowestBit(d &^ w) // set phase, away from the root
+	})
+}
+
+// RingClockwise routes a ring strictly clockwise. Its channel dependency
+// graph is a single loop around the ring — the Figure 1 deadlock scenario —
+// and the simulator demonstrates the resulting wormhole deadlock.
+func RingClockwise(r *topology.Ring) *Tables {
+	idx := make(map[topology.DeviceID]int, len(r.Routers))
+	for i, rt := range r.Routers {
+		idx[rt] = i
+	}
+	return Build(r.Network, "ring-cw", func(router topology.DeviceID, dst int) int {
+		w := idx[router]
+		d := r.RouterOfNode(dst)
+		if w == d {
+			return r.NodePort(dst)
+		}
+		return topology.RingPortCW
+	})
+}
+
+// RingSeamless routes a ring like a line: packets travel in whichever
+// direction avoids crossing the seam between router Size-1 and router 0.
+// Disabling that one link's use breaks the dependency loop, the ring
+// analogue of the disabled paths in Figure 2.
+func RingSeamless(r *topology.Ring) *Tables {
+	idx := make(map[topology.DeviceID]int, len(r.Routers))
+	for i, rt := range r.Routers {
+		idx[rt] = i
+	}
+	return Build(r.Network, "ring-seamless", func(router topology.DeviceID, dst int) int {
+		w := idx[router]
+		d := r.RouterOfNode(dst)
+		if w == d {
+			return r.NodePort(dst)
+		}
+		if d > w {
+			return topology.RingPortCW
+		}
+		return topology.RingPortCCW
+	})
+}
+
+func lowestBit(x int) int {
+	for k := 0; ; k++ {
+		if x&(1<<k) != 0 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package routing_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Route through the fractahedron with the paper's depth-first digit
+// algorithm and inspect the table-driven path.
+func ExampleFractahedron() {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	tb := routing.Fractahedron(f)
+	r, err := tb.Route(6, 54)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dev := range r.Devices {
+		fmt.Println(f.Device(dev).Name)
+	}
+	// Output:
+	// N6
+	// L1.e0.l0.r3
+	// L2.e0.l3.r0
+	// L2.e0.l3.r3
+	// L1.e6.l0.r3
+	// N54
+}
+
+// Compile the tables into the region image a ServerNet router would load.
+func ExampleCompileImage() {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	tb := routing.Fractahedron(f)
+	img := routing.CompileImage(tb)
+	st := tb.RegionSizes()
+	fmt.Printf("%d routers, %d total regions (max %d per router)\n",
+		st.Routers, img.Entries(), st.Max)
+	// Output:
+	// 48 routers, 296 total regions (max 7 per router)
+}
+
+// Generic up*/down* serves topologies with no specialized algorithm.
+func ExampleUpDownGeneric() {
+	c := topology.NewCCC(3)
+	tb := routing.UpDownGeneric(c.Network, c.Routers[0][0])
+	if err := tb.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s routes all %d pairs\n", tb.Algorithm, c.NumNodes()*(c.NumNodes()-1))
+	// Output:
+	// updown-generic routes all 552 pairs
+}

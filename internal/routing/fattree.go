@@ -1,0 +1,103 @@
+package routing
+
+import "repro/internal/topology"
+
+// FatTree routes a D-U fat tree with the fixed-path discipline §3.3
+// requires for in-order delivery: a packet ascends until its current
+// subtree contains the destination, then follows the unique descending
+// path. The ascending port at each level is a static function of the
+// destination address (a base-U digit), which is one of the static
+// partitionings of traffic over the parallel upward links the paper
+// discusses — even under uniform load, but subject to the 12:1 worst case
+// the paper derives for 64 nodes, since 48 remote destinations shared among
+// 4 top-level paths leave some path with 12.
+func FatTree(ft *topology.FatTree) *Tables {
+	return Build(ft.Network, "fattree-updown", func(router topology.DeviceID, dst int) int {
+		m := ft.Meta(router)
+		if ft.InstAt(dst, m.Level) != m.Inst {
+			// Destination outside this subtree: ascend. Pick the up port
+			// from the destination's level-th base-U digit.
+			return ft.D + digit(dst, ft.U, m.Level-1)
+		}
+		if m.Level == 1 {
+			return dst % ft.D // leaf: node port
+		}
+		// Descend toward the child subtree holding dst.
+		return digit(dst, ft.D, m.Level-1)
+	})
+}
+
+// FatTreeShifted routes like FatTree but rotates the destination-derived
+// up-port choice by a constant. Any rotation is an equally valid static
+// partition of traffic over the upward links; §3.3 argues (and the
+// contention ablation confirms) that no such choice escapes the 12:1
+// pigeonhole bound on 64 nodes.
+func FatTreeShifted(ft *topology.FatTree, shift int) *Tables {
+	name := "fattree-updown"
+	if shift != 0 {
+		name = "fattree-updown-shift"
+	}
+	return Build(ft.Network, name, func(router topology.DeviceID, dst int) int {
+		m := ft.Meta(router)
+		if ft.InstAt(dst, m.Level) != m.Inst {
+			return ft.D + (digit(dst, ft.U, m.Level-1)+shift)%ft.U
+		}
+		if m.Level == 1 {
+			return dst % ft.D
+		}
+		return digit(dst, ft.D, m.Level-1)
+	})
+}
+
+// FatTreeCompact routes like FatTree but chooses the ascending port by
+// striping LEAF BLOCKS of the destination space: up port at level l is
+// (dst / (D * U^(l-1))) mod U. Blocks of D consecutive addresses share a
+// port, so region tables shrink several-fold toward the §2.1 ideal, while
+// the stripes still spread remote destinations evenly over the top-level
+// paths — worst-case contention stays at the §3.3 pigeonhole bound (12:1
+// on 64 nodes). A fully CONTIGUOUS partition (up port from the subtree
+// index) compresses further but concentrates whole pods onto single paths
+// and measures 16:1; this striped rule is the compactness/contention sweet
+// spot.
+func FatTreeCompact(ft *topology.FatTree) *Tables {
+	return Build(ft.Network, "fattree-compact", func(router topology.DeviceID, dst int) int {
+		m := ft.Meta(router)
+		if ft.InstAt(dst, m.Level) != m.Inst {
+			block := dst / ft.D
+			return ft.D + digit(block, ft.U, m.Level-1)
+		}
+		if m.Level == 1 {
+			return dst % ft.D
+		}
+		return digit(dst, ft.D, m.Level-1)
+	})
+}
+
+// digit extracts the i-th base-b digit of v (i = 0 is least significant).
+func digit(v, b, i int) int {
+	for ; i > 0; i-- {
+		v /= b
+	}
+	return v % b
+}
+
+// FatTreeAdaptiveUnsafe routes ascending packets over an up port chosen by
+// a hash of both source and destination rather than the destination alone.
+// Per-pair paths remain fixed (so it is still deadlock-free), but sequential
+// packets from different sources to one destination interleave over
+// different paths. It exists for the ablation study of §3.3's in-order
+// argument: the simulator shows per-pair order is kept but arrival
+// interleaving at the destination differs, and contention shifts.
+func FatTreeAdaptiveUnsafe(ft *topology.FatTree, src int) *Tables {
+	t := Build(ft.Network, "fattree-srcdst", func(router topology.DeviceID, dst int) int {
+		m := ft.Meta(router)
+		if ft.InstAt(dst, m.Level) != m.Inst {
+			return ft.D + digit(dst^(src*2654435761), ft.U, m.Level-1)
+		}
+		if m.Level == 1 {
+			return dst % ft.D
+		}
+		return digit(dst, ft.D, m.Level-1)
+	})
+	return t
+}

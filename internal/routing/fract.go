@@ -1,0 +1,58 @@
+package routing
+
+import "repro/internal/topology"
+
+// Fractahedron routes a thin or fat fractahedron with the paper's
+// depth-first algorithm (§2.2–2.4): address digits are examined from
+// high-order to low-order; while the digits above the current level do not
+// match, the packet is sent to the next higher level, and on the way down
+// each ensemble matches one more digit, taking one intra-ensemble hop when
+// the packet arrived at the wrong router of the group.
+//
+// In the fat variant every router owns an up link, so the ascent goes
+// "straight up the tree without taking any inter-tetrahedral links"; in the
+// thin variant only router 0 of each ensemble connects upward, so ascending
+// packets take one intra hop per level to reach it. Descents never ascend
+// again, so the channel dependency graph is loop-free despite the multiple
+// layers — the property §2.4 claims and internal/deadlock verifies.
+func Fractahedron(f *topology.Fractahedron) *Tables {
+	cfg := f.Cfg
+	return Build(f.Network, fractName(cfg), func(router topology.DeviceID, dst int) int {
+		m := f.Meta(router)
+		a := f.AddrOfNode(dst)
+
+		if m.Level == 0 {
+			// Fan-out router: descend toward the child subtree holding
+			// dst, or ascend if dst lies outside this router's span.
+			lo, hi := f.FanoutSpan(router)
+			if dst >= lo && dst < hi {
+				sub := (hi - lo) / cfg.FanoutNodesOrDefault()
+				return (dst - lo) / sub
+			}
+			return f.UpPort()
+		}
+
+		if f.EnsembleAt(a, m.Level) != m.Ensemble {
+			// Destination outside this ensemble: ascend.
+			if cfg.Fat || m.R == 0 {
+				return f.UpPort()
+			}
+			return f.IntraPort(m.R, 0) // thin: reach the ensemble's up router
+		}
+
+		// Destination below this ensemble: match this level's digit.
+		d := f.Digit(a, m.Level)
+		r, p := d/cfg.Down, d%cfg.Down
+		if m.R != r {
+			return f.IntraPort(m.R, r)
+		}
+		return p
+	})
+}
+
+func fractName(cfg topology.FractConfig) string {
+	if cfg.Fat {
+		return "fractahedron-fat"
+	}
+	return "fractahedron-thin"
+}

@@ -1,0 +1,73 @@
+package routing
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForAllPairs walks the route of every ordered (src, dst) pair, fanning the
+// source loop over a worker pool. The collect callback runs once per worker
+// with that worker's source range already processed through visit, letting
+// analyses keep per-worker accumulators and merge them deterministically
+// (workers are merged in source order). With workers <= 0 the pool sizes
+// itself to GOMAXPROCS.
+//
+// visit must not retain the Route beyond the call; collect is called
+// sequentially, in ascending worker (source-range) order.
+func (t *Tables) ForAllPairs(workers int, newAccum func() any, visit func(acc any, r Route) error, collect func(acc any) error) error {
+	n := t.Net.NumNodes()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type result struct {
+		acc any
+		err error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := newAccum()
+			results[w].acc = acc
+			// Stripe sources across workers for balanced load.
+			for s := w; s < n; s += workers {
+				for d := 0; d < n; d++ {
+					if s == d {
+						continue
+					}
+					r, err := t.Route(s, d)
+					if err != nil {
+						results[w].err = err
+						return
+					}
+					if err := visit(acc, r); err != nil {
+						results[w].err = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if results[w].err != nil {
+			return fmt.Errorf("routing: worker %d: %w", w, results[w].err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if err := collect(results[w].acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

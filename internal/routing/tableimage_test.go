@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestImageMatchesTables(t *testing.T) {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	tb := Fractahedron(f)
+	img := CompileImage(tb)
+	if err := VerifyImage(img, tb); err != nil {
+		t.Fatal(err)
+	}
+	// Entries equal the sum of per-router region counts from RegionSizes.
+	if img.Entries() != tb.RegionSizes().Total {
+		t.Errorf("entries = %d, want %d", img.Entries(), tb.RegionSizes().Total)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	ft := topology.NewFatTree(4, 2, 64)
+	tb := FatTree(ft)
+	img := CompileImage(tb)
+
+	var buf bytes.Buffer
+	n, err := img.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != img.Algorithm || back.Nodes != img.Nodes {
+		t.Errorf("header mismatch: %q/%d vs %q/%d", back.Algorithm, back.Nodes, img.Algorithm, img.Nodes)
+	}
+	if err := VerifyImage(back, tb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("not a table image"),
+		[]byte("SNRT1\n"), // truncated after magic
+	} {
+		if _, err := ReadImage(bytes.NewReader(data)); err == nil {
+			t.Errorf("garbage %q accepted", data)
+		}
+	}
+}
+
+func TestImageLookupMisses(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := FullMesh(fm)
+	img := CompileImage(tb)
+	if img.Lookup(fm.NodeByIndex(0), 1) != -1 {
+		t.Error("lookup on a non-router device succeeded")
+	}
+	if img.Lookup(fm.Routers[0], 99) != -1 {
+		t.Error("lookup past the address space succeeded")
+	}
+}
+
+// Property: compile/serialize/parse/verify succeeds for random topologies.
+func TestImageRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tb *Tables
+		switch rng.Intn(4) {
+		case 0:
+			tb = Fractahedron(topology.NewFractahedron(topology.FractConfig{
+				Group: 3 + rng.Intn(2), Down: 1 + rng.Intn(2), Levels: 1 + rng.Intn(2),
+				Fat: rng.Intn(2) == 0,
+			}))
+		case 1:
+			tb = FatTree(topology.NewFatTree(2+rng.Intn(3), 1+rng.Intn(2), 4+rng.Intn(30)))
+		case 2:
+			tb = MeshDimOrder(topology.NewMesh(2+rng.Intn(4), 2+rng.Intn(4), 1), rng.Intn(2) == 0)
+		default:
+			c := topology.NewCCC(3)
+			tb = UpDownGeneric(c.Network, c.Routers[rng.Intn(8)][rng.Intn(3)])
+		}
+		img := CompileImage(tb)
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadImage(&buf)
+		if err != nil {
+			return false
+		}
+		return VerifyImage(back, tb) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// UpDownGeneric builds deadlock-free destination-based tables for an
+// ARBITRARY connected topology using the up*/down* discipline (the scheme
+// Autonet introduced, and the natural generalization of the per-topology
+// restrictions §2 of the paper surveys): orient every inter-router link
+// toward the router closer to a root (breadth-first level, ties by device
+// ID); a legal route climbs zero or more "up" links and then descends zero
+// or more "down" links, never turning upward again.
+//
+// Table-expressibility is preserved by a greedy rule that keeps the walk
+// consistent: a router that can reach the destination by a pure-down path
+// always takes the best down step (its successor then also can), otherwise
+// it takes the best up step. Dependencies therefore run only up->up
+// (strictly toward the root), up->down and down->down (strictly away), so
+// the channel dependency graph is acyclic on any topology — the price, as
+// with Figure 2's hypercube disables, is uneven link utilization near the
+// root.
+func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
+	if net.Device(root).Kind != topology.Router {
+		panic(fmt.Sprintf("routing: up*/down* root %d is not a router", root))
+	}
+
+	// Breadth-first levels over routers only.
+	level := make(map[topology.DeviceID]int)
+	level[root] = 0
+	queue := []topology.DeviceID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p := 0; p < net.Device(u).Ports; p++ {
+			l, ok := net.LinkAt(u, p)
+			if !ok {
+				continue
+			}
+			v := net.OtherEnd(l, u).Device
+			if net.Device(v).Kind != topology.Router {
+				continue
+			}
+			if _, seen := level[v]; !seen {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	// higher reports whether v is "above" u (closer to the root).
+	higher := func(v, u topology.DeviceID) bool {
+		lv, lu := level[v], level[u]
+		if lv != lu {
+			return lv < lu
+		}
+		return v < u
+	}
+
+	routers := make([]topology.DeviceID, 0, len(level))
+	for r := range level {
+		routers = append(routers, r)
+	}
+	// Order from the root outward (the order down-distances propagate in,
+	// and the reverse order for up-distances).
+	sort.Slice(routers, func(i, j int) bool { return higher(routers[i], routers[j]) })
+
+	type hop struct {
+		dist int
+		port int
+	}
+	const inf = int(^uint(0) >> 1)
+
+	// Per destination node, compute for every router the best pure-down
+	// distance and the best up*/down* distance with consistent next hops.
+	nNodes := net.NumNodes()
+	downPort := make(map[topology.DeviceID][]int)
+	upPort := make(map[topology.DeviceID][]int)
+	for _, r := range routers {
+		downPort[r] = make([]int, nNodes)
+		upPort[r] = make([]int, nNodes)
+	}
+
+	down := make(map[topology.DeviceID]hop)
+	up := make(map[topology.DeviceID]hop)
+	for dst := 0; dst < nNodes; dst++ {
+		for k := range down {
+			delete(down, k)
+		}
+		for k := range up {
+			delete(up, k)
+		}
+		dstDev := net.NodeByIndex(dst)
+		l, wired := net.LinkAt(dstDev, 0)
+		if !wired {
+			panic(fmt.Sprintf("routing: node %d unwired", dst))
+		}
+		// The router holding the destination node "reaches it downward"
+		// through the node port.
+		far := net.OtherEnd(l, dstDev)
+		down[far.Device] = hop{dist: 1, port: far.Port}
+
+		// Pure-down distances propagate from routers above to routers
+		// below... a down step at u goes to a LOWER router v (higher(u, v)
+		// false... v below u) with down[v] known. Process routers from the
+		// bottom up? A down path u -> v -> ... descends, so down[u] depends
+		// on down[v] for v BELOW u: iterate routers in reverse root-outward
+		// order (deepest first).
+		for i := len(routers) - 1; i >= 0; i-- {
+			u := routers[i]
+			best, ok := down[u], false
+			if _, have := down[u]; have {
+				ok = true
+			}
+			for p := 0; p < net.Device(u).Ports; p++ {
+				l, wired := net.LinkAt(u, p)
+				if !wired {
+					continue
+				}
+				v := net.OtherEnd(l, u).Device
+				if net.Device(v).Kind != topology.Router || higher(v, u) {
+					continue // only true down steps
+				}
+				if hv, have := down[v]; have {
+					if !ok || hv.dist+1 < best.dist {
+						best = hop{dist: hv.dist + 1, port: p}
+						ok = true
+					}
+				}
+			}
+			if ok {
+				down[u] = best
+			}
+		}
+		// Up-capable distance: either pure down, or one up step then the
+		// neighbor's best. Process from the root outward so up[parent] is
+		// final before children consult it.
+		for _, u := range routers {
+			var best hop
+			ok := false
+			if h, have := down[u]; have {
+				best, ok = h, true
+			}
+			for p := 0; p < net.Device(u).Ports; p++ {
+				l, wired := net.LinkAt(u, p)
+				if !wired {
+					continue
+				}
+				v := net.OtherEnd(l, u).Device
+				if net.Device(v).Kind != topology.Router || !higher(v, u) {
+					continue // only true up steps
+				}
+				if hv, have := up[v]; have {
+					if !ok || hv.dist+1 < best.dist {
+						best = hop{dist: hv.dist + 1, port: p}
+						ok = true
+					}
+				}
+			}
+			if !ok {
+				panic(fmt.Sprintf("routing: up*/down* cannot reach node %d from router %d (disconnected?)", dst, u))
+			}
+			up[u] = best
+		}
+		for _, u := range routers {
+			if h, have := down[u]; have {
+				downPort[u][dst] = h.port
+			} else {
+				downPort[u][dst] = -1
+			}
+			upPort[u][dst] = up[u].port
+		}
+	}
+
+	return Build(net, "updown-generic", func(r topology.DeviceID, dst int) int {
+		if p := downPort[r][dst]; p >= 0 {
+			return p // pure-down reachable: stay in the down phase
+		}
+		return upPort[r][dst]
+	})
+}

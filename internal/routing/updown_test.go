@@ -1,0 +1,165 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// upDownTargets enumerates (network, name) pairs the generic routing must
+// handle: regular, irregular, and cyclic topologies alike.
+func upDownTargets() []struct {
+	name string
+	net  *topology.Network
+	root topology.DeviceID
+} {
+	ccc := topology.NewCCC(3)
+	se := topology.NewShuffleExchange(4)
+	torus := topology.NewTorus(3, 3, 1)
+	mesh := topology.NewMesh(3, 3, 1)
+	fract := topology.NewFractahedron(topology.Tetra(2, true))
+	return []struct {
+		name string
+		net  *topology.Network
+		root topology.DeviceID
+	}{
+		{"ccc-3", ccc.Network, ccc.Routers[0][0]},
+		{"shuffle-exchange-4", se.Network, se.Routers[0]},
+		{"torus-3x3", torus.Network, torus.RouterAt[0][0]},
+		{"mesh-3x3", mesh.Network, mesh.RouterAt[1][1]},
+		{"fat-fract-2", fract.Network, fract.RouterAt(topology.FractRouter{Level: 2, Ensemble: 0, Layer: 0, R: 0})},
+	}
+}
+
+func TestUpDownGenericRoutesEverything(t *testing.T) {
+	for _, tc := range upDownTargets() {
+		tb := UpDownGeneric(tc.net, tc.root)
+		if err := tb.Verify(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// The defining invariant: no route ever takes an up step after a down step.
+func TestUpDownGenericPhaseInvariant(t *testing.T) {
+	for _, tc := range upDownTargets() {
+		tb := UpDownGeneric(tc.net, tc.root)
+		// Recompute the BFS levels to classify steps.
+		lvl := routerLevels(tc.net, tc.root)
+		n := tc.net.NumNodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				r, err := tb.Route(s, d)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.name, err)
+				}
+				descended := false
+				for i := 1; i < len(r.Channels)-1; i++ {
+					u := tc.net.ChannelSrc(r.Channels[i]).Device
+					v := tc.net.ChannelDst(r.Channels[i]).Device
+					upstep := lvl[v] < lvl[u] || (lvl[v] == lvl[u] && v < u)
+					if upstep && descended {
+						t.Fatalf("%s: route %d->%d turns upward after descending", tc.name, s, d)
+					}
+					if !upstep {
+						descended = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func routerLevels(net *topology.Network, root topology.DeviceID) map[topology.DeviceID]int {
+	lvl := map[topology.DeviceID]int{root: 0}
+	queue := []topology.DeviceID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p := 0; p < net.Device(u).Ports; p++ {
+			l, ok := net.LinkAt(u, p)
+			if !ok {
+				continue
+			}
+			v := net.OtherEnd(l, u).Device
+			if net.Device(v).Kind != topology.Router {
+				continue
+			}
+			if _, seen := lvl[v]; !seen {
+				lvl[v] = lvl[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return lvl
+}
+
+func TestCCCStructure(t *testing.T) {
+	c := topology.NewCCC(3)
+	if c.NumRouters() != 24 || c.NumNodes() != 24 {
+		t.Fatalf("routers=%d nodes=%d, want 24/24", c.NumRouters(), c.NumNodes())
+	}
+	// Links: cycles 8*3 + cube 3*8/2 + nodes 24 = 24+12+24 = 60.
+	if c.NumLinks() != 60 {
+		t.Errorf("links = %d, want 60", c.NumLinks())
+	}
+	// Cube link of (w, i) reaches (w^(1<<i), i).
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 3; i++ {
+			l, ok := c.LinkAt(c.Routers[w][i], topology.CCCPortCube)
+			if !ok {
+				t.Fatalf("(%d,%d) cube port unwired", w, i)
+			}
+			got := c.OtherEnd(l, c.Routers[w][i]).Device
+			if got != c.Routers[w^(1<<i)][i] {
+				t.Errorf("(%d,%d) cube link wrong", w, i)
+			}
+		}
+	}
+	w, i := c.Position(17)
+	if w != 5 || i != 2 {
+		t.Errorf("Position(17) = (%d,%d), want (5,2)", w, i)
+	}
+}
+
+func TestShuffleExchangeStructure(t *testing.T) {
+	se := topology.NewShuffleExchange(4)
+	if se.NumRouters() != 16 || se.NumNodes() != 16 {
+		t.Fatalf("routers=%d nodes=%d", se.NumRouters(), se.NumNodes())
+	}
+	// Exchange partner of w is w^1; shuffle of 0b0011 is 0b0110.
+	if se.Rotl(0b0011) != 0b0110 {
+		t.Errorf("Rotl(0011) = %04b", se.Rotl(0b0011))
+	}
+	// Fixed points have no shuffle link: only exchange + node wired.
+	for _, w := range []int{0, 15} {
+		if got := se.UsedPorts(se.Routers[w]); got != 2 {
+			t.Errorf("router %04b uses %d ports, want 2", w, got)
+		}
+	}
+	// 2-cycle routers (0101 <-> 1010) share a single shuffle cable.
+	l1, ok1 := se.LinkAt(se.Routers[0b0101], topology.SEPortShuffle)
+	l2, ok2 := se.LinkAt(se.Routers[0b1010], topology.SEPortShuffle)
+	if !ok1 || !ok2 || l1 != l2 {
+		t.Errorf("2-cycle shuffle cable wrong: %v/%v %d/%d", ok1, ok2, l1, l2)
+	}
+}
+
+// §2 lists CCC and shuffle-exchange among MPP topologies; with up*/down*
+// tables both are serviceable but pay in hop count against a fractahedron
+// of comparable size.
+func TestBackgroundTopologyHops(t *testing.T) {
+	ccc := topology.NewCCC(3)
+	tb := UpDownGeneric(ccc.Network, ccc.Routers[0][0])
+	max, total, pairs := maxHops(t, tb)
+	if max < 6 {
+		t.Errorf("CCC-3 max hops = %d, expected at least the diameter", max)
+	}
+	avg := float64(total) / float64(pairs)
+	if avg < 3 || avg > 9 {
+		t.Errorf("CCC-3 avg hops = %.2f out of plausible range", avg)
+	}
+}

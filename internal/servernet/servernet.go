@@ -1,0 +1,233 @@
+// Package servernet models the transaction layer the paper describes in
+// §1: ServerNet provides "high-speed communications from processor to
+// processor, processor to I/O device, or I/O device to other I/O devices",
+// with every data packet acknowledged and with guaranteed in-order delivery
+// carrying the protocol ("the interrupt packet cannot be allowed to pass
+// the data on the way to the CPU"). The layer drives the flit-level
+// simulator through its delivery hook: writes emit a data packet and expect
+// an acknowledgment back, reads emit a request and expect a data response,
+// and interrupts ride as small packets whose ordering against preceding
+// data transfers the layer checks explicitly.
+package servernet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Kind is the transaction type.
+type Kind uint8
+
+const (
+	// Write transfers DataFlits from Src to Dst and completes when the
+	// acknowledgment returns to Src.
+	Write Kind = iota
+	// Read sends a request from Src to Dst and completes when Dst's data
+	// response of DataFlits arrives back at Src.
+	Read
+	// Interrupt is a controller-to-CPU notification packet that must not
+	// overtake the data the same controller sent earlier.
+	Interrupt
+)
+
+// String names the transaction kind for display.
+func (k Kind) String() string {
+	switch k {
+	case Write:
+		return "write"
+	case Read:
+		return "read"
+	case Interrupt:
+		return "interrupt"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet sizes in flits for the protocol's control traffic.
+const (
+	AckFlits     = 2
+	RequestFlits = 3
+)
+
+// Transaction is one protocol operation.
+type Transaction struct {
+	ID        int
+	Kind      Kind
+	Src, Dst  int
+	DataFlits int
+	IssueAt   int // cycle the first packet may inject
+}
+
+// Outcome reports a completed transaction.
+type Outcome struct {
+	Transaction
+	Issued    int // cycle of first injection eligibility
+	Completed int // cycle the completing packet (ack/response/delivery) arrived
+}
+
+// Result is the transaction-layer summary of a run.
+type Result struct {
+	Sim       sim.Result
+	Outcomes  []Outcome
+	Completed int
+	// InterruptOvertakes counts interrupts delivered before data the same
+	// source issued earlier toward the same CPU — zero on any fixed-path
+	// ServerNet configuration, the §3.3 guarantee.
+	InterruptOvertakes int
+	AvgLatency         float64 // cycles from issue to completion
+}
+
+// Engine schedules transactions over a core.System.
+type Engine struct {
+	sys *core.System
+	cfg sim.Config
+
+	txs []Transaction
+}
+
+// NewEngine creates a transaction engine over a routed system.
+func NewEngine(sys *core.System, cfg sim.Config) *Engine {
+	return &Engine{sys: sys, cfg: cfg}
+}
+
+// WriteTx queues a write transaction and returns its ID.
+func (e *Engine) WriteTx(src, dst, dataFlits, issueAt int) int {
+	return e.add(Transaction{Kind: Write, Src: src, Dst: dst, DataFlits: dataFlits, IssueAt: issueAt})
+}
+
+// ReadTx queues a read transaction and returns its ID.
+func (e *Engine) ReadTx(src, dst, dataFlits, issueAt int) int {
+	return e.add(Transaction{Kind: Read, Src: src, Dst: dst, DataFlits: dataFlits, IssueAt: issueAt})
+}
+
+// InterruptTx queues an interrupt notification and returns its ID.
+func (e *Engine) InterruptTx(src, dst, issueAt int) int {
+	return e.add(Transaction{Kind: Interrupt, Src: src, Dst: dst, DataFlits: AckFlits, IssueAt: issueAt})
+}
+
+func (e *Engine) add(t Transaction) int {
+	t.ID = len(e.txs)
+	e.txs = append(e.txs, t)
+	return t.ID
+}
+
+// packetRole ties an in-flight packet back to its transaction phase.
+type packetRole struct {
+	tx    int
+	phase int // 0 = initial packet, 1 = ack/response
+}
+
+// Run executes all queued transactions to completion.
+func (e *Engine) Run() (Result, error) {
+	s := sim.New(e.sys.Net, e.sys.Disables, e.cfg)
+
+	// Map (src, dst, seq-within-pair) to roles as packets are added; the
+	// delivery hook consumes roles in FIFO order per pair, which matches
+	// the in-order delivery the network guarantees per pair.
+	roles := make(map[[2]int][]packetRole)
+	addPacket := func(src, dst, flits, when int, role packetRole) error {
+		spec := sim.PacketSpec{Src: src, Dst: dst, Flits: flits, InjectCycle: when}
+		r, err := e.sys.Tables.Route(src, dst)
+		if err != nil {
+			return err
+		}
+		if err := s.AddPacket(spec, r); err != nil {
+			return err
+		}
+		roles[[2]int{src, dst}] = append(roles[[2]int{src, dst}], role)
+		return nil
+	}
+
+	res := Result{}
+	outcomes := make([]Outcome, len(e.txs))
+	dataDelivered := make(map[[2]int]int) // (controller, cpu) -> data packets landed
+	// For each interrupt, how many same-pair writes were queued before it
+	// and therefore must land first.
+	mustPrecede := make([]int, len(e.txs))
+	counts := make(map[[2]int]int)
+	for i, tx := range e.txs {
+		key := [2]int{tx.Src, tx.Dst}
+		switch tx.Kind {
+		case Write:
+			counts[key]++
+		case Interrupt:
+			mustPrecede[i] = counts[key]
+		}
+	}
+	var hookErr error
+
+	s.OnDelivered(func(spec sim.PacketSpec, now int) {
+		key := [2]int{spec.Src, spec.Dst}
+		q := roles[key]
+		if len(q) == 0 {
+			hookErr = fmt.Errorf("servernet: delivery with no pending role for %d->%d", spec.Src, spec.Dst)
+			return
+		}
+		role := q[0]
+		roles[key] = q[1:]
+		tx := &e.txs[role.tx]
+		switch {
+		case tx.Kind == Write && role.phase == 0:
+			dataDelivered[key]++
+			// Data arrived: emit the acknowledgment back to the source.
+			if err := addPacket(tx.Dst, tx.Src, AckFlits, now+1, packetRole{role.tx, 1}); err != nil {
+				hookErr = err
+			}
+		case tx.Kind == Read && role.phase == 0:
+			// Request arrived: emit the data response.
+			if err := addPacket(tx.Dst, tx.Src, tx.DataFlits, now+1, packetRole{role.tx, 1}); err != nil {
+				hookErr = err
+			}
+		case tx.Kind == Interrupt:
+			// The interrupt must not beat data the controller issued
+			// earlier toward this CPU (§3.3's motivating requirement).
+			if dataDelivered[key] < mustPrecede[role.tx] {
+				res.InterruptOvertakes++
+			}
+			outcomes[role.tx] = Outcome{Transaction: *tx, Issued: tx.IssueAt, Completed: now}
+			res.Completed++
+		default: // phase 1: ack or response back at the initiator
+			outcomes[role.tx] = Outcome{Transaction: *tx, Issued: tx.IssueAt, Completed: now}
+			res.Completed++
+		}
+	})
+
+	for i := range e.txs {
+		tx := &e.txs[i]
+		switch tx.Kind {
+		case Write:
+			if err := addPacket(tx.Src, tx.Dst, tx.DataFlits, tx.IssueAt, packetRole{i, 0}); err != nil {
+				return res, err
+			}
+		case Read:
+			if err := addPacket(tx.Src, tx.Dst, RequestFlits, tx.IssueAt, packetRole{i, 0}); err != nil {
+				return res, err
+			}
+		case Interrupt:
+			if err := addPacket(tx.Src, tx.Dst, AckFlits, tx.IssueAt, packetRole{i, 0}); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	res.Sim = s.Run()
+	if hookErr != nil {
+		return res, hookErr
+	}
+	res.Outcomes = outcomes
+	total := 0
+	counted := 0
+	for _, o := range outcomes {
+		if o.Completed > 0 {
+			total += o.Completed - o.Issued
+			counted++
+		}
+	}
+	if counted > 0 {
+		res.AvgLatency = float64(total) / float64(counted)
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// White-box tests of the simulator's internal mechanics.
+
+func TestBufKeyRoundTrip(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{VirtualChannels: 3})
+	for ch := 0; ch < fm.NumChannels(); ch++ {
+		for vc := 0; vc < 3; vc++ {
+			key := s.bufKey(topology.ChannelID(ch), vc)
+			if key/3 != ch || key%3 != vc {
+				t.Fatalf("bufKey(%d,%d) = %d does not decompose", ch, vc, key)
+			}
+		}
+	}
+}
+
+func TestPacketVCDefaultsToZero(t *testing.T) {
+	p := &packet{}
+	if p.vcAt(0) != 0 || p.vcAt(5) != 0 {
+		t.Error("nil VCs should ride VC 0")
+	}
+	p.vcs = []int{0, 1, 1}
+	if p.vcAt(2) != 1 {
+		t.Error("explicit VC ignored")
+	}
+}
+
+func TestReleaseOnlyOwnedKeys(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{})
+	p := &packet{id: 7}
+	k1 := vcPortKey{dev: fm.Routers[0], port: 0, vc: 0}
+	k2 := vcPortKey{dev: fm.Routers[0], port: 1, vc: 0}
+	s.owner[k1] = 7
+	s.owner[k2] = 7
+	p.owned = []vcPortKey{k1, k2}
+	s.release(p, k1)
+	if _, held := s.owner[k1]; held {
+		t.Error("k1 not released")
+	}
+	if _, held := s.owner[k2]; !held {
+		t.Error("k2 released prematurely")
+	}
+	if len(p.owned) != 1 || p.owned[0] != k2 {
+		t.Errorf("owned = %v", p.owned)
+	}
+	// Releasing a key the packet never held is a no-op.
+	s.release(p, k1)
+	if len(p.owned) != 1 {
+		t.Error("spurious release mutated ownership")
+	}
+}
+
+// Round-robin output arbitration: two sources streaming equal traffic
+// through one shared link make progress in strict alternation — neither is
+// starved.
+func TestArbitrationFairness(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{FIFODepth: 2})
+	// Nodes 0 and 1 (router 0) each stream 10 single-flit packets to nodes
+	// 5 and 6 (router 1): every packet contends for the one inter-router
+	// link.
+	for i := 0; i < 10; i++ {
+		if err := s.AddBatch(tb, []PacketSpec{
+			{Src: 0, Dst: 5, Flits: 1},
+			{Src: 1, Dst: 6, Flits: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Run()
+	if res.Delivered != 20 || res.Deadlocked {
+		t.Fatalf("delivered=%d deadlocked=%v", res.Delivered, res.Deadlocked)
+	}
+	// With fair arbitration the two streams finish together: total time is
+	// within a small constant of 2x one stream's serialized time.
+	if res.MaxLatency > 30 {
+		t.Errorf("max latency %d suggests starvation", res.MaxLatency)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.FIFODepth != 4 || c.VirtualChannels != 1 || c.MaxCycles != 1_000_000 ||
+		c.DeadlockThreshold != 10_000 || c.MaxRetries != 3 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	c2 := Config{FIFODepth: 9, VirtualChannels: 2, MaxCycles: 5, DeadlockThreshold: 7, MaxRetries: 1}.withDefaults()
+	if c2.FIFODepth != 9 || c2.VirtualChannels != 2 || c2.MaxCycles != 5 ||
+		c2.DeadlockThreshold != 7 || c2.MaxRetries != 1 {
+		t.Errorf("explicit values clobbered: %+v", c2)
+	}
+}
+
+func TestAddPacketValidation(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{})
+	r, err := tb.Route(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPacket(PacketSpec{Src: 0, Dst: 5, Flits: 0}, r); err == nil {
+		t.Error("zero-flit packet accepted")
+	}
+	if err := s.AddPacket(PacketSpec{Src: 1, Dst: 5, Flits: 2}, r); err == nil {
+		t.Error("mismatched route accepted")
+	}
+}
+
+// Sequence numbers are per (src, dst) pair and monotone.
+func TestSequenceNumbering(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{})
+	for i := 0; i < 3; i++ {
+		if err := s.AddBatch(tb, []PacketSpec{{Src: 0, Dst: 5, Flits: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddBatch(tb, []PacketSpec{{Src: 0, Dst: 6, Flits: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.packets[0].seq != 0 || s.packets[1].seq != 1 || s.packets[2].seq != 2 {
+		t.Errorf("same-pair seqs: %d %d %d", s.packets[0].seq, s.packets[1].seq, s.packets[2].seq)
+	}
+	if s.packets[3].seq != 0 {
+		t.Errorf("new pair seq = %d, want 0", s.packets[3].seq)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{})
+	// Ten packets from one source serialize on the shared path: latencies
+	// form an increasing sequence, so p50 < p99 <= max.
+	for i := 0; i < 10; i++ {
+		if err := s.AddBatch(tb, []PacketSpec{{Src: 0, Dst: 9, Flits: 4}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Run()
+	if res.Delivered != 10 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	if !(res.P50Latency < res.P99Latency && res.P99Latency <= res.MaxLatency) {
+		t.Errorf("percentiles out of order: p50=%d p99=%d max=%d",
+			res.P50Latency, res.P99Latency, res.MaxLatency)
+	}
+	if res.P50Latency <= 0 {
+		t.Error("p50 missing")
+	}
+}

@@ -1,0 +1,738 @@
+// Package sim is a cycle-level wormhole network simulator for ServerNet-
+// style networks: byte-serial links carry one flit per cycle, routers have
+// one input FIFO per port (per virtual channel, when configured) and a
+// non-blocking crossbar, a packet's header flit allocates each output as it
+// advances and its tail flit releases it, and blocked worms hold the
+// buffers they occupy — the regime in which the circular waits of Figure 1
+// become true deadlocks.
+//
+// The simulator is deterministic: ties are broken by channel order and
+// per-output round-robin arbitration. It detects deadlock by lack of
+// forward progress and extracts a witness cycle from the channel wait-for
+// graph, verifies in-order delivery per source-destination pair (the
+// ServerNet protocol requirement of §3.3), enforces the path-disable
+// registers of §2.4 (discarding packets whose — possibly corrupted —
+// routes attempt a disabled turn), and optionally provides the virtual
+// channels of the Dally–Seitz scheme §2 weighs against topology-based
+// avoidance, plus the timeout/discard/retry recovery that section also
+// discusses.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Config holds simulator parameters.
+type Config struct {
+	// FIFODepth is the per-input-buffer capacity in flits, per virtual
+	// channel (default 4). Total buffering per port is
+	// FIFODepth * VirtualChannels — the hardware cost §2 of the paper
+	// holds against virtual-channel deadlock avoidance.
+	FIFODepth int
+	// VirtualChannels is the VC count per physical channel (default 1).
+	// Routes produced by a routing with a VC assignment select the VC per
+	// hop; single-VC routes ride VC 0.
+	VirtualChannels int
+	// MaxCycles bounds the simulation (default 1e6).
+	MaxCycles int
+	// DeadlockThreshold is the number of consecutive cycles without any
+	// flit movement after which the network is declared deadlocked
+	// (default 10000).
+	DeadlockThreshold int
+	// TimeoutCycles, when positive, enables §2's timeout-based deadlock
+	// RECOVERY: a packet whose header has not moved for this many cycles
+	// is discarded in place and re-injected from the source. The paper
+	// rejects this scheme for system area networks because retries destroy
+	// in-order delivery; the simulator measures exactly that.
+	TimeoutCycles int
+	// MaxRetries bounds re-injections per packet (default 3) when
+	// TimeoutCycles is enabled.
+	MaxRetries int
+	// LinkLatency is the flit propagation time per channel in cycles
+	// (default 1). The paper's links "can reach up to 30 meters"; longer
+	// cables add pipeline stages without changing any safety property.
+	LinkLatency int
+	// Trace, when non-nil, receives one line per flit movement
+	// ("cycle pkt flit channel"), for debugging and visualization.
+	Trace io.Writer
+}
+
+// LinkFault schedules a link to fail at a cycle: from then on, any header
+// flit attempting to cross either of its channels is discarded (the worm is
+// killed, as ServerNet's CRC/timeout machinery would), and body flits of
+// worms already committed die with their packet.
+type LinkFault struct {
+	Cycle int
+	Link  topology.LinkID
+}
+
+func (c Config) withDefaults() Config {
+	if c.FIFODepth <= 0 {
+		c.FIFODepth = 4
+	}
+	if c.VirtualChannels <= 0 {
+		c.VirtualChannels = 1
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 1_000_000
+	}
+	if c.DeadlockThreshold <= 0 {
+		c.DeadlockThreshold = 10_000
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 1
+	}
+	return c
+}
+
+// PacketSpec describes one packet to inject.
+type PacketSpec struct {
+	Src, Dst    int // node addresses
+	Flits       int // packet length in flits, >= 1
+	InjectCycle int // earliest cycle the source may begin injecting
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Cycles    int
+	Injected  int // packets fully injected (counting each retry attempt once)
+	Delivered int // packets fully delivered
+	Dropped   int // packets discarded by path-disable logic or retry exhaustion
+
+	Deadlocked bool
+	// WaitCycle is a witness cycle in the channel wait-for graph when
+	// Deadlocked: each channel's blocked head flit waits for the next.
+	WaitCycle []topology.ChannelID
+
+	AvgLatency float64 // cycles from InjectCycle to tail delivery
+	MaxLatency int
+	// P50Latency and P99Latency are latency percentiles over delivered
+	// packets (0 when nothing was delivered).
+	P50Latency, P99Latency int
+	// ThroughputFPC is delivered flits per cycle over the whole run.
+	ThroughputFPC float64
+
+	InOrderViolations int
+	// Retries counts timeout-triggered re-injections.
+	Retries int
+	// ChannelFlits counts flit crossings per physical channel.
+	ChannelFlits map[topology.ChannelID]int
+}
+
+type packet struct {
+	id        int
+	spec      PacketSpec
+	route     []topology.ChannelID
+	vcs       []int // nil => VC 0 on every hop
+	seq       int   // per (src,dst) injection sequence
+	injected  int   // flits handed to the network so far
+	dropped   bool
+	retired   bool
+	wantRetry bool
+	retries   int
+	stall     int // consecutive cycles the header has not moved (timeout mode)
+	owned     []vcPortKey
+}
+
+func (p *packet) vcAt(hop int) int {
+	if p.vcs == nil {
+		return 0
+	}
+	return p.vcs[hop]
+}
+
+type flit struct {
+	pkt *packet
+	idx int // 0 = header, spec.Flits-1 = tail
+	hop int // route index of the channel just crossed
+}
+
+// pendingFlit is a flit propagating along a wire.
+type pendingFlit struct {
+	key int // destination buffer key (channel*V + vc)
+	f   flit
+	at  int // last cycle on the wire; lands when now > at
+}
+
+// vcPortKey identifies one virtual output channel of one router port.
+type vcPortKey struct {
+	dev  topology.DeviceID
+	port int
+	vc   int
+}
+
+// physKey identifies a physical output port (the 1 flit/cycle resource).
+type physKey struct {
+	dev  topology.DeviceID
+	port int
+}
+
+// Simulator runs one workload over one network. Create with New, add
+// packets, then Run.
+type Simulator struct {
+	net *topology.Network
+	dis *router.Disables
+	cfg Config
+
+	packets []*packet
+	queues  map[int][]*packet // per source node, FIFO injection order
+	seqs    map[[2]int]int
+
+	buffers  map[int][]flit // key = int(channel)*V + vc
+	owner    map[vcPortKey]int
+	arbiter  map[physKey]int // round-robin pointer over request keys
+	channels []topology.ChannelID
+
+	// pending holds flits in flight on a wire (LinkLatency > 1, or the
+	// uniform single-cycle pipeline stage): they land in their target
+	// buffer — or at their destination node — once now > at.
+	pending  []pendingFlit
+	inflight map[int]int // wire occupancy per buffer key, for space checks
+
+	busy        map[topology.ChannelID]int
+	outstanding int
+
+	faults    []LinkFault
+	deadLinks map[topology.LinkID]bool
+
+	// hook, when set, runs after a packet's tail flit is delivered. It may
+	// call AddPacket to inject follow-up traffic (acknowledgments, read
+	// responses, interrupts) — the mechanism the ServerNet transaction
+	// layer in internal/servernet builds on.
+	hook func(spec PacketSpec, now int)
+	// dropHook, when set, runs after a packet is discarded (disable
+	// violation, fault, or retry exhaustion). It may call AddPacket to
+	// re-issue the transfer — e.g. over the other fabric of a dual
+	// configuration.
+	dropHook func(spec PacketSpec, now int)
+}
+
+// OnDelivered installs a delivery hook invoked after each packet's tail
+// arrives; the hook may schedule new packets with AddPacket (their
+// InjectCycle must not be in the past).
+func (s *Simulator) OnDelivered(hook func(spec PacketSpec, now int)) { s.hook = hook }
+
+// OnDropped installs a hook invoked after a packet is permanently discarded
+// (path-disable violation, link fault, or retry exhaustion); it may
+// re-issue the transfer with AddPacket, e.g. over a standby fabric.
+func (s *Simulator) OnDropped(hook func(spec PacketSpec, now int)) { s.dropHook = hook }
+
+// ScheduleFault arranges for a link to fail at the given cycle.
+func (s *Simulator) ScheduleFault(f LinkFault) { s.faults = append(s.faults, f) }
+
+// New creates a simulator over a network with the given disable matrix
+// (use router.AllowAll for an unrestricted crossbar).
+func New(net *topology.Network, dis *router.Disables, cfg Config) *Simulator {
+	s := &Simulator{
+		net:       net,
+		dis:       dis,
+		cfg:       cfg.withDefaults(),
+		queues:    make(map[int][]*packet),
+		seqs:      make(map[[2]int]int),
+		buffers:   make(map[int][]flit),
+		inflight:  make(map[int]int),
+		owner:     make(map[vcPortKey]int),
+		arbiter:   make(map[physKey]int),
+		busy:      make(map[topology.ChannelID]int),
+		deadLinks: make(map[topology.LinkID]bool),
+	}
+	for c := 0; c < net.NumChannels(); c++ {
+		ch := topology.ChannelID(c)
+		if net.Device(net.ChannelDst(ch).Device).Kind == topology.Router {
+			s.channels = append(s.channels, ch)
+		}
+	}
+	return s
+}
+
+func (s *Simulator) bufKey(ch topology.ChannelID, vc int) int {
+	return int(ch)*s.cfg.VirtualChannels + vc
+}
+
+// AddPacket schedules a packet with an explicit route. Using routes rather
+// than live table lookups lets experiments inject per-packet path choices
+// (the in-order ablation) and corrupted-table routes.
+func (s *Simulator) AddPacket(spec PacketSpec, route routing.Route) error {
+	if spec.Flits < 1 {
+		return fmt.Errorf("sim: packet needs at least 1 flit, got %d", spec.Flits)
+	}
+	if route.Src != spec.Src || route.Dst != spec.Dst {
+		return fmt.Errorf("sim: route %d->%d does not match spec %d->%d",
+			route.Src, route.Dst, spec.Src, spec.Dst)
+	}
+	for i := range route.Channels {
+		if v := route.VCAt(i); v < 0 || v >= s.cfg.VirtualChannels {
+			return fmt.Errorf("sim: route hop %d uses VC %d but the simulator has %d VCs",
+				i, v, s.cfg.VirtualChannels)
+		}
+	}
+	p := &packet{
+		id:    len(s.packets),
+		spec:  spec,
+		route: route.Channels,
+		vcs:   route.VCs,
+		seq:   s.seqs[[2]int{spec.Src, spec.Dst}],
+	}
+	s.seqs[[2]int{spec.Src, spec.Dst}]++
+	s.packets = append(s.packets, p)
+	s.queues[spec.Src] = append(s.queues[spec.Src], p)
+	s.outstanding++
+	return nil
+}
+
+// AddBatch routes each spec through the tables and schedules it.
+func (s *Simulator) AddBatch(t *routing.Tables, specs []PacketSpec) error {
+	for _, spec := range specs {
+		r, err := t.Route(spec.Src, spec.Dst)
+		if err != nil {
+			return err
+		}
+		if err := s.AddPacket(spec, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type move struct {
+	from int // buffer key; -1 == injection from the source node
+	to   int // buffer key
+	src  int // injecting node when from == -1
+}
+
+// Run executes the simulation until every packet is delivered or dropped,
+// deadlock is declared, or MaxCycles elapse.
+func (s *Simulator) Run() Result {
+	res := Result{ChannelFlits: s.busy}
+	lastSeq := make(map[[2]int]int)
+	totalLatency := 0
+	var latencies []int
+	deliveredFlits := 0
+	idle := 0
+
+	// land processes a wire arrival: ejections run the delivery protocol,
+	// router-bound flits enter their input buffer (flits of dropped worms
+	// simply vanish, as the hardware's error handling discards them).
+	now := 0
+	landed := 0
+	land := func(p pendingFlit) {
+		s.inflight[p.key]--
+		f := p.f
+		toCh := topology.ChannelID(p.key / s.cfg.VirtualChannels)
+		dst := s.net.ChannelDst(toCh)
+		if s.net.Device(dst.Device).Kind != topology.Node {
+			if !f.pkt.dropped {
+				s.buffers[p.key] = append(s.buffers[p.key], f)
+			}
+			return
+		}
+		if f.pkt.dropped {
+			return
+		}
+		deliveredFlits++
+		if f.idx == f.pkt.spec.Flits-1 {
+			s.outstanding--
+			res.Delivered++
+			lat := now - f.pkt.spec.InjectCycle
+			totalLatency += lat
+			latencies = append(latencies, lat)
+			if lat > res.MaxLatency {
+				res.MaxLatency = lat
+			}
+			key := [2]int{f.pkt.spec.Src, f.pkt.spec.Dst}
+			if f.pkt.seq < lastSeq[key] {
+				res.InOrderViolations++
+			} else {
+				lastSeq[key] = f.pkt.seq + 1
+			}
+			if s.hook != nil {
+				s.hook(f.pkt.spec, now)
+			}
+		}
+	}
+
+	for ; now < s.cfg.MaxCycles && s.outstanding > 0; now++ {
+		for _, f := range s.faults {
+			if f.Cycle == now {
+				s.deadLinks[f.Link] = true
+			}
+		}
+
+		// Wire arrivals land before this cycle's switching decisions.
+		landed = 0
+		keep := s.pending[:0]
+		for _, p := range s.pending {
+			if p.at < now {
+				land(p)
+				landed++
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		s.pending = keep
+
+		moves := s.planMoves(now)
+
+		for _, mv := range moves {
+			var f flit
+			toCh := topology.ChannelID(mv.to / s.cfg.VirtualChannels)
+			toVC := mv.to % s.cfg.VirtualChannels
+			if mv.from == -1 {
+				p := s.queues[mv.src][0]
+				f = flit{pkt: p, idx: p.injected, hop: 0}
+				p.stall = 0
+				p.injected++
+				if p.injected == p.spec.Flits {
+					s.queues[mv.src] = s.queues[mv.src][1:]
+					res.Injected++
+				}
+			} else {
+				f = s.buffers[mv.from][0]
+				s.buffers[mv.from] = s.buffers[mv.from][1:]
+				f.hop++
+				f.pkt.stall = 0
+				// Ownership transitions at the output VC just crossed.
+				out := vcPortKey{s.net.ChannelSrc(toCh).Device, s.net.ChannelSrc(toCh).Port, toVC}
+				if f.idx == 0 {
+					if _, held := s.owner[out]; !held {
+						s.owner[out] = f.pkt.id
+						f.pkt.owned = append(f.pkt.owned, out)
+					}
+				}
+				if f.idx == f.pkt.spec.Flits-1 {
+					s.release(f.pkt, out)
+				}
+			}
+			s.busy[toCh]++
+			if s.cfg.Trace != nil {
+				fmt.Fprintf(s.cfg.Trace, "%d pkt%d flit%d vc%d %s\n",
+					now, f.pkt.id, f.idx, toVC, s.net.ChannelString(toCh))
+			}
+			s.pending = append(s.pending, pendingFlit{key: mv.to, f: f, at: now + s.cfg.LinkLatency - 1})
+			s.inflight[mv.to]++
+		}
+
+		if s.cfg.TimeoutCycles > 0 {
+			s.applyTimeouts()
+		}
+		retired := s.reapDropped(&res, now)
+		s.outstanding -= retired
+		if len(moves) > 0 || retired > 0 || landed > 0 {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= s.cfg.DeadlockThreshold && s.inFlight() {
+			res.Deadlocked = true
+			res.WaitCycle = s.waitCycle()
+			break
+		}
+	}
+	res.Cycles = now
+	if res.Delivered > 0 {
+		res.AvgLatency = float64(totalLatency) / float64(res.Delivered)
+		sort.Ints(latencies)
+		res.P50Latency = latencies[len(latencies)/2]
+		res.P99Latency = latencies[(len(latencies)*99)/100]
+	}
+	if now > 0 {
+		res.ThroughputFPC = float64(deliveredFlits) / float64(now)
+	}
+	return res
+}
+
+// planMoves selects at most one flit movement per physical output port (and
+// per injection channel) based on start-of-cycle state.
+func (s *Simulator) planMoves(now int) []move {
+	sizes := make(map[int]int, len(s.buffers))
+	for k, b := range s.buffers {
+		sizes[k] = len(b)
+	}
+	space := func(key int) bool {
+		ch := topology.ChannelID(key / s.cfg.VirtualChannels)
+		if s.net.Device(s.net.ChannelDst(ch).Device).Kind == topology.Node {
+			return true // ejection: the node consumes immediately
+		}
+		return sizes[key]+s.inflight[key] < s.cfg.FIFODepth
+	}
+
+	var moves []move
+	type request struct {
+		from       int
+		to         int
+		continuing bool
+	}
+	requests := make(map[physKey][]request)
+	for _, ch := range s.channels {
+		for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
+			key := s.bufKey(ch, vc)
+			b := s.buffers[key]
+			if len(b) == 0 {
+				continue
+			}
+			f := b[0]
+			if f.pkt.dropped {
+				continue // reaped separately
+			}
+			next := f.pkt.route[f.hop+1]
+			nextVC := f.pkt.vcAt(f.hop + 1)
+			dev := s.net.ChannelDst(ch).Device
+			in := s.net.ChannelDst(ch).Port
+			out := s.net.ChannelSrc(next).Port
+			if f.idx == 0 && !s.dis.Allowed(dev, in, out) {
+				// Path-disable logic rejects the turn: the packet is
+				// discarded (ServerNet raises a transmission error).
+				f.pkt.dropped = true
+				continue
+			}
+			if s.deadLinks[s.net.ChannelLink(next)] {
+				// The worm is aimed at a failed link: the hardware kills it.
+				f.pkt.dropped = true
+				continue
+			}
+			nextKey := s.bufKey(next, nextVC)
+			if !space(nextKey) {
+				continue
+			}
+			outVC := vcPortKey{dev, out, nextVC}
+			own, held := s.owner[outVC]
+			switch {
+			case held && own == f.pkt.id:
+				requests[physKey{dev, out}] = append(requests[physKey{dev, out}],
+					request{from: key, to: nextKey, continuing: true})
+			case !held && f.idx == 0:
+				requests[physKey{dev, out}] = append(requests[physKey{dev, out}],
+					request{from: key, to: nextKey})
+			}
+		}
+	}
+	// One grant per physical output port, round-robin over request source
+	// buffers; continuing worms outrank new headers so body flits are not
+	// starved mid-worm.
+	keys := make([]physKey, 0, len(requests))
+	for k := range requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev < keys[j].dev
+		}
+		return keys[i].port < keys[j].port
+	})
+	for _, k := range keys {
+		reqs := requests[k]
+		sort.Slice(reqs, func(i, j int) bool {
+			if reqs[i].continuing != reqs[j].continuing {
+				return reqs[i].continuing
+			}
+			return reqs[i].from < reqs[j].from
+		})
+		// Round-robin within the top priority class.
+		class := reqs
+		for i, r := range reqs {
+			if r.continuing != reqs[0].continuing {
+				class = reqs[:i]
+				break
+			}
+		}
+		last := s.arbiter[k]
+		best := class[0]
+		for _, r := range class {
+			if r.from > last {
+				best = r
+				break
+			}
+		}
+		s.arbiter[k] = best.from
+		moves = append(moves, move{from: best.from, to: best.to})
+	}
+
+	// Injection: one flit per source node with a pending packet.
+	srcs := make([]int, 0, len(s.queues))
+	for src, q := range s.queues {
+		if len(q) > 0 {
+			srcs = append(srcs, src)
+		}
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		p := s.queues[src][0]
+		if p.spec.InjectCycle > now || p.dropped {
+			continue
+		}
+		if s.deadLinks[s.net.ChannelLink(p.route[0])] {
+			p.dropped = true
+			continue
+		}
+		injKey := s.bufKey(p.route[0], p.vcAt(0))
+		if space(injKey) {
+			moves = append(moves, move{from: -1, to: injKey, src: src})
+		}
+	}
+	return moves
+}
+
+// release frees the given output VC if the worm holds it.
+func (s *Simulator) release(p *packet, out vcPortKey) {
+	for i, k := range p.owned {
+		if k == out {
+			delete(s.owner, k)
+			p.owned = append(p.owned[:i], p.owned[i+1:]...)
+			return
+		}
+	}
+}
+
+// applyTimeouts advances per-packet stall counters for worms none of whose
+// flits moved this cycle (flit movement resets the counter during move
+// execution), and discards-with-retry any worm exceeding the configured
+// timeout (§2's recovery alternative). Retried packets are re-enqueued at
+// the source — deliberately NOT reordered in front of later traffic, which
+// is how out-of-order delivery arises.
+func (s *Simulator) applyTimeouts() {
+	for _, p := range s.packets {
+		if p.dropped || p.retired || p.injected == 0 {
+			continue
+		}
+		if s.headInNetwork(p) {
+			p.stall++
+			if p.stall >= s.cfg.TimeoutCycles {
+				p.dropped = true
+				p.wantRetry = p.retries < s.cfg.MaxRetries
+			}
+		}
+	}
+}
+
+// headInNetwork reports whether the packet's header flit is still buffered
+// somewhere (not yet delivered).
+func (s *Simulator) headInNetwork(p *packet) bool {
+	for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
+		for _, ch := range s.channels {
+			b := s.buffers[s.bufKey(ch, vc)]
+			for _, f := range b {
+				if f.pkt == p && f.idx == 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reapDropped consumes flits of dropped packets at buffer heads and retires
+// packets whose flits are fully drained, releasing the output VCs their
+// worms held; timeout victims are re-enqueued. It returns the number of
+// packets permanently retired this cycle.
+func (s *Simulator) reapDropped(res *Result, now int) int {
+	for _, ch := range s.channels {
+		for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
+			key := s.bufKey(ch, vc)
+			for len(s.buffers[key]) > 0 && s.buffers[key][0].pkt.dropped {
+				s.buffers[key] = s.buffers[key][1:]
+			}
+		}
+	}
+	// Cut dropped packets off at the source.
+	for src, q := range s.queues {
+		if len(q) > 0 && q[0].dropped {
+			q[0].injected = q[0].spec.Flits
+			s.queues[src] = q[1:]
+		}
+	}
+	retired := 0
+	for _, p := range s.packets {
+		if p.dropped && !p.retired && p.injected == p.spec.Flits && !s.hasFlits(p) {
+			for _, k := range p.owned {
+				if s.owner[k] == p.id {
+					delete(s.owner, k)
+				}
+			}
+			p.owned = nil
+			if p.wantRetry {
+				// Re-inject: same packet identity (and sequence number, so
+				// the in-order checker sees the true delivery order), fresh
+				// flit stream.
+				p.dropped, p.wantRetry = false, false
+				p.retries++
+				p.stall = 0
+				p.injected = 0
+				res.Retries++
+				s.queues[p.spec.Src] = append(s.queues[p.spec.Src], p)
+				continue
+			}
+			p.retired = true
+			res.Dropped++
+			retired++
+			if s.dropHook != nil {
+				s.dropHook(p.spec, now)
+			}
+		}
+	}
+	return retired
+}
+
+func (s *Simulator) hasFlits(p *packet) bool {
+	for _, b := range s.buffers {
+		for _, f := range b {
+			if f.pkt == p {
+				return true
+			}
+		}
+	}
+	for _, pf := range s.pending {
+		if pf.f.pkt == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) inFlight() bool {
+	for _, b := range s.buffers {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	return len(s.pending) > 0
+}
+
+// waitCycle builds the channel wait-for graph — blocked head flit in
+// vc-channel c waits for its next vc-channel — and returns a cycle's
+// physical channels if present.
+func (s *Simulator) waitCycle() []topology.ChannelID {
+	v := s.cfg.VirtualChannels
+	g := graph.NewDigraph(s.net.NumChannels() * v)
+	for _, ch := range s.channels {
+		for vc := 0; vc < v; vc++ {
+			b := s.buffers[s.bufKey(ch, vc)]
+			if len(b) == 0 {
+				continue
+			}
+			f := b[0]
+			if f.pkt.dropped {
+				continue
+			}
+			g.AddEdge(s.bufKey(ch, vc), s.bufKey(f.pkt.route[f.hop+1], f.pkt.vcAt(f.hop+1)))
+		}
+	}
+	cyc, ok := g.FindCycle()
+	if !ok {
+		return nil
+	}
+	out := make([]topology.ChannelID, len(cyc))
+	for i, c := range cyc {
+		out[i] = topology.ChannelID(c / v)
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func mustBatch(t *testing.T, s *sim.Simulator, tb *routing.Tables, specs []sim.PacketSpec) {
+	t.Helper()
+	if err := s.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An uncontended packet's latency is exactly RouterHops + Flits cycles: one
+// cycle per pipeline stage plus one per flit behind the header.
+func TestSinglePacketLatency(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	for _, flits := range []int{1, 4, 16} {
+		s := sim.New(fm.Network, router.AllowAll(fm.Network), sim.Config{})
+		mustBatch(t, s, tb, []sim.PacketSpec{{Src: 0, Dst: 9, Flits: flits}})
+		r, err := tb.Route(0, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		if res.Delivered != 1 || res.Deadlocked {
+			t.Fatalf("flits=%d: delivered=%d deadlocked=%v", flits, res.Delivered, res.Deadlocked)
+		}
+		want := r.RouterHops() + flits
+		if res.MaxLatency != want {
+			t.Errorf("flits=%d: latency = %d, want %d", flits, res.MaxLatency, want)
+		}
+	}
+}
+
+// Figure 1: four long worms routed clockwise around a 4-ring block each
+// other in a circular wait — a true wormhole deadlock, with a witness cycle
+// in the wait-for graph.
+func TestFigure1RingDeadlock(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	tb := routing.RingClockwise(rg)
+	s := sim.New(rg.Network, router.AllowAll(rg.Network), sim.Config{FIFODepth: 2, DeadlockThreshold: 200})
+	mustBatch(t, s, tb, workload.Transfers(workload.RingDeadlockSet(4), 32))
+	res := s.Run()
+	if !res.Deadlocked {
+		t.Fatalf("no deadlock: delivered=%d cycles=%d", res.Delivered, res.Cycles)
+	}
+	if len(res.WaitCycle) == 0 {
+		t.Fatal("deadlock without witness cycle")
+	}
+	// The witness must be a closed chain of channels: each channel's
+	// destination device is the next channel's source device.
+	for i := range res.WaitCycle {
+		c1 := res.WaitCycle[i]
+		c2 := res.WaitCycle[(i+1)%len(res.WaitCycle)]
+		if rg.ChannelDst(c1).Device != rg.ChannelSrc(c2).Device {
+			t.Errorf("witness cycle broken between %s and %s",
+				rg.ChannelString(c1), rg.ChannelString(c2))
+		}
+	}
+}
+
+// The same workload with seam-avoiding routing delivers everything: the
+// routing restriction removes the deadlock, exactly the paper's §2 point.
+func TestFigure1RestrictedRoutingSurvives(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	tb := routing.RingSeamless(rg)
+	s := sim.New(rg.Network, router.AllowAll(rg.Network), sim.Config{FIFODepth: 2, DeadlockThreshold: 200})
+	mustBatch(t, s, tb, workload.Transfers(workload.RingDeadlockSet(4), 32))
+	res := s.Run()
+	if res.Deadlocked || res.Delivered != 4 {
+		t.Fatalf("restricted routing: deadlocked=%v delivered=%d", res.Deadlocked, res.Delivered)
+	}
+}
+
+// Dimension-order routing on a mesh survives an all-pairs pounding.
+func TestMeshAllPairsDelivery(t *testing.T) {
+	m := topology.NewMesh(3, 3, 1)
+	tb := routing.MeshDimOrder(m, true)
+	s := sim.New(m.Network, router.AllowAll(m.Network), sim.Config{})
+	var specs []sim.PacketSpec
+	for a := 0; a < 9; a++ {
+		for b := 0; b < 9; b++ {
+			if a != b {
+				specs = append(specs, sim.PacketSpec{Src: a, Dst: b, Flits: 6})
+			}
+		}
+	}
+	mustBatch(t, s, tb, specs)
+	res := s.Run()
+	if res.Deadlocked || res.Delivered != 72 {
+		t.Fatalf("deadlocked=%v delivered=%d/72", res.Deadlocked, res.Delivered)
+	}
+	if res.InOrderViolations != 0 {
+		t.Errorf("in-order violations = %d", res.InOrderViolations)
+	}
+}
+
+// The fat fractahedron under its deterministic routing delivers a heavy
+// random load without deadlock and in order.
+func TestFractahedronRandomLoad(t *testing.T) {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	tb := routing.Fractahedron(f)
+	dis, err := router.FromTables(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(f.Network, dis, sim.Config{FIFODepth: 4})
+	rng := rand.New(rand.NewSource(7))
+	mustBatch(t, s, tb, workload.UniformRandom(rng, 64, 500, 8, 400))
+	res := s.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked under deterministic fractahedral routing")
+	}
+	if res.Delivered != 500 || res.Dropped != 0 {
+		t.Fatalf("delivered=%d dropped=%d, want 500/0", res.Delivered, res.Dropped)
+	}
+	if res.InOrderViolations != 0 {
+		t.Errorf("in-order violations = %d", res.InOrderViolations)
+	}
+}
+
+// Path-disable enforcement: a route using a turn outside the disable set is
+// discarded rather than forwarded (§2.4's corrupted-table defense), while
+// legitimate traffic flows.
+func TestDisablesDropCorruptedRoute(t *testing.T) {
+	fm := topology.NewFullMesh(3, 6)
+	tb := routing.FullMesh(fm)
+	dis, err := router.FromTables(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(fm.Network, dis, sim.Config{})
+
+	// Legitimate packet.
+	mustBatch(t, s, tb, []sim.PacketSpec{{Src: 0, Dst: 4, Flits: 4}})
+
+	// Corrupted route: node 0 -> R0 -> R1 -> R2 -> node 8. The R1 turn
+	// (from R0, toward R2) is never used by direct fully-connected routing,
+	// so the disables reject it.
+	detour := manualRoute(t, fm.Network, 0, 8, []topology.PortRef{
+		{Device: fm.Routers[0], Port: fm.IntraPort(0, 1)},
+		{Device: fm.Routers[1], Port: fm.IntraPort(1, 2)},
+		{Device: fm.Routers[2], Port: fm.NodePort(8)},
+	})
+	if err := s.AddPacket(sim.PacketSpec{Src: 0, Dst: 8, Flits: 4}, detour); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Delivered != 1 || res.Dropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d, want 1/1", res.Delivered, res.Dropped)
+	}
+	if res.Deadlocked {
+		t.Fatal("drop handling deadlocked the network")
+	}
+}
+
+// Fixed per-pair paths keep packets in order even under interleaving load;
+// per-packet path diversity (the §3.3 ablation: "dynamically select a
+// non-busy link") breaks arrival order.
+func TestInOrderAblation(t *testing.T) {
+	fm := topology.NewFullMesh(3, 6)
+	tb := routing.FullMesh(fm)
+
+	// In-order baseline: many packets, one pair, fixed path.
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), sim.Config{})
+	var specs []sim.PacketSpec
+	for i := 0; i < 10; i++ {
+		specs = append(specs, sim.PacketSpec{Src: 0, Dst: 8, Flits: 5})
+	}
+	mustBatch(t, s, tb, specs)
+	res := s.Run()
+	if res.InOrderViolations != 0 {
+		t.Fatalf("fixed path produced %d order violations", res.InOrderViolations)
+	}
+
+	// Ablation: the first 0->9 packet detours through R1, where a long
+	// blocker worm (3->6) holds the R1->R2 link; the second 0->9 packet
+	// takes the direct route and overtakes it — §3.3's "earlier packets
+	// might encounter more contention upstream, causing them to be
+	// delivered out of order".
+	fm4 := topology.NewFullMesh(4, 6)
+	tb4 := routing.FullMesh(fm4)
+	s2 := sim.New(fm4.Network, router.AllowAll(fm4.Network), sim.Config{})
+	blocker, err := tb4.Route(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddPacket(sim.PacketSpec{Src: 3, Dst: 6, Flits: 60}, blocker); err != nil {
+		t.Fatal(err)
+	}
+	long := manualRoute(t, fm4.Network, 0, 9, []topology.PortRef{
+		{Device: fm4.Routers[0], Port: fm4.IntraPort(0, 1)},
+		{Device: fm4.Routers[1], Port: fm4.IntraPort(1, 2)},
+		{Device: fm4.Routers[2], Port: fm4.IntraPort(2, 3)},
+		{Device: fm4.Routers[3], Port: fm4.NodePort(9)},
+	})
+	if err := s2.AddPacket(sim.PacketSpec{Src: 0, Dst: 9, Flits: 2}, long); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := tb4.Route(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddPacket(sim.PacketSpec{Src: 0, Dst: 9, Flits: 1, InjectCycle: 4}, direct); err != nil {
+		t.Fatal(err)
+	}
+	res2 := s2.Run()
+	if res2.Delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", res2.Delivered)
+	}
+	if res2.InOrderViolations == 0 {
+		t.Error("path diversity did not produce an order violation; ablation broken")
+	}
+}
+
+// Determinism: identical workloads produce identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Result {
+		m := topology.NewMesh(4, 4, 1)
+		tb := routing.MeshDimOrder(m, true)
+		s := sim.New(m.Network, router.AllowAll(m.Network), sim.Config{FIFODepth: 3})
+		rng := rand.New(rand.NewSource(99))
+		if err := s.AddBatch(tb, workload.UniformRandom(rng, 16, 200, 7, 100)); err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("nondeterministic results:\n%+v\n%+v", a, b)
+	}
+}
+
+// Conservation: every delivered packet's flits crossed every channel of its
+// route exactly once.
+func TestFlitConservation(t *testing.T) {
+	m := topology.NewMesh(3, 3, 1)
+	tb := routing.MeshDimOrder(m, false)
+	s := sim.New(m.Network, router.AllowAll(m.Network), sim.Config{})
+	rng := rand.New(rand.NewSource(3))
+	specs := workload.UniformRandom(rng, 9, 100, 4, 50)
+	mustBatch(t, s, tb, specs)
+	res := s.Run()
+	if res.Delivered != 100 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	want := make(map[topology.ChannelID]int)
+	for _, spec := range specs {
+		r, _ := tb.Route(spec.Src, spec.Dst)
+		for _, ch := range r.Channels {
+			want[ch] += spec.Flits
+		}
+	}
+	for ch, w := range want {
+		if res.ChannelFlits[ch] != w {
+			t.Errorf("channel %s carried %d flits, want %d", m.ChannelString(ch), res.ChannelFlits[ch], w)
+		}
+	}
+}
+
+// Offered load beyond capacity must not deadlock a deadlock-free routing —
+// it just saturates.
+func TestSaturationWithoutDeadlock(t *testing.T) {
+	ft := topology.NewFatTree(4, 2, 16)
+	tb := routing.FatTree(ft)
+	s := sim.New(ft.Network, router.AllowAll(ft.Network), sim.Config{FIFODepth: 2})
+	rng := rand.New(rand.NewSource(11))
+	mustBatch(t, s, tb, workload.Bernoulli(rng, 16, 100, 8, 0.5))
+	res := s.Run()
+	if res.Deadlocked {
+		t.Fatal("fat tree deadlocked under saturation")
+	}
+	if res.Delivered != res.Injected || res.Delivered == 0 {
+		t.Fatalf("delivered=%d injected=%d", res.Delivered, res.Injected)
+	}
+}
+
+// manualRoute builds a Route from an explicit port walk for ablation and
+// fault-injection tests.
+func manualRoute(t *testing.T, net *topology.Network, src, dst int, hops []topology.PortRef) routing.Route {
+	t.Helper()
+	r := routing.Route{Src: src, Dst: dst}
+	cur := net.NodeByIndex(src)
+	r.Devices = append(r.Devices, cur)
+	ch, ok := net.ChannelFromPort(cur, 0)
+	if !ok {
+		t.Fatalf("source node %d unwired", src)
+	}
+	r.Channels = append(r.Channels, ch)
+	for _, h := range hops {
+		if net.ChannelDst(ch).Device != h.Device {
+			t.Fatalf("manual route discontinuity at %v", h)
+		}
+		r.Devices = append(r.Devices, h.Device)
+		ch, ok = net.ChannelFromPort(h.Device, h.Port)
+		if !ok {
+			t.Fatalf("port %v unwired", h)
+		}
+		r.Channels = append(r.Channels, ch)
+	}
+	if net.ChannelDst(ch).Device != net.NodeByIndex(dst) {
+		t.Fatalf("manual route does not end at node %d", dst)
+	}
+	r.Devices = append(r.Devices, net.NodeByIndex(dst))
+	return r
+}

@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cable bill of materials. §2.3 describes the fat fractahedron's physical
+// wiring: the up-links of each level-1 tetrahedron bundle into a
+// "four-conductor cable" to the level-2 layer stack, and each level-2
+// ensemble's sixteen up-links into a "16-conductor cable" to level 3. A
+// conductor here is one full-duplex link (§1: a cable pairs two
+// unidirectional links). CableBOM reconstructs that wiring schedule from
+// the built network.
+
+// CableClass is one row of the bill of materials.
+type CableClass struct {
+	Kind       string // "intra-ensemble", "node", "fan-out", "L1->L2", ...
+	Conductors int    // links bundled per cable
+	Cables     int
+}
+
+// CableBOM groups the fractahedron's links into physical cables: every
+// intra-ensemble and node link is its own cable, and all links between one
+// child ensemble and its parent bundle into one multi-conductor cable.
+func (f *Fractahedron) CableBOM() []CableClass {
+	type key struct {
+		kind       string
+		conductors int
+	}
+	counts := make(map[key]int)
+	// Inter-level bundles: child ensemble -> link count.
+	type bundleKey struct {
+		level int // parent level
+		child int // child ensemble index at level-1
+	}
+	bundles := make(map[bundleKey]int)
+
+	for _, l := range f.Links() {
+		a, b := f.Device(l.A.Device), f.Device(l.B.Device)
+		switch {
+		case a.Kind == Node || b.Kind == Node:
+			kind := "node"
+			r := l.A.Device
+			if a.Kind == Node {
+				r = l.B.Device
+			}
+			if f.Cfg.Fanout && f.Meta(r).Level == 0 {
+				kind = "fan-out node"
+			}
+			counts[key{kind, 1}]++
+		default:
+			ma, mb := f.Meta(l.A.Device), f.Meta(l.B.Device)
+			if ma.Level == mb.Level {
+				counts[key{fmt.Sprintf("intra-level-%d", ma.Level), 1}]++
+				continue
+			}
+			// Order so mb is the parent.
+			if ma.Level > mb.Level {
+				ma, mb = mb, ma
+			}
+			if ma.Level == 0 {
+				// Fan-out router up-link to its level-1 tetrahedron.
+				counts[key{"fan-out uplink", 1}]++
+				continue
+			}
+			bundles[bundleKey{level: mb.Level, child: ma.Ensemble}]++
+		}
+	}
+	for bk, conductors := range bundles {
+		counts[key{fmt.Sprintf("L%d->L%d bundle", bk.level-1, bk.level), conductors}]++
+	}
+
+	var rows []CableClass
+	for k, c := range counts {
+		rows = append(rows, CableClass{Kind: k.kind, Conductors: k.conductors, Cables: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Kind != rows[j].Kind {
+			return rows[i].Kind < rows[j].Kind
+		}
+		return rows[i].Conductors < rows[j].Conductors
+	})
+	return rows
+}
+
+// BOMString renders the bill of materials.
+func BOMString(rows []CableClass) string {
+	var sb strings.Builder
+	sb.WriteString("cable schedule (conductor = one full-duplex link)\n")
+	total := 0
+	links := 0
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-16s: %4d cables x %2d conductors\n", r.Kind, r.Cables, r.Conductors)
+		total += r.Cables
+		links += r.Cables * r.Conductors
+	}
+	fmt.Fprintf(&sb, "  total: %d cables carrying %d links\n", total, links)
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package topology
+
+import "fmt"
+
+// CCC ports per router: the two cycle directions, the cube link, then the
+// node port.
+const (
+	CCCPortCW   = 0 // toward position (i+1) mod d
+	CCCPortCCW  = 1 // toward position (i-1) mod d
+	CCCPortCube = 2
+	CCCPortNode = 3
+)
+
+// CCC is a cube-connected cycles network (one of the MPP topologies §2 of
+// the paper lists): each corner w of a d-dimensional hypercube is replaced
+// by a cycle of d routers, and router (w, i) carries the cube link of
+// dimension i. Routers need only 4 ports (3 network + 1 node) regardless of
+// dimension — the property CCC trades hop count for.
+type CCC struct {
+	*Network
+	Dim     int
+	Routers [][]DeviceID // [corner][position]
+}
+
+// NewCCC builds a d-dimensional cube-connected cycles network with one end
+// node per router, d*2^d nodes in total. Node address w*d + i is the node
+// of router (w, i). d must be at least 3 so the cycles are simple.
+func NewCCC(d int) *CCC {
+	if d < 3 {
+		panic(fmt.Sprintf("topology: CCC needs dimension >= 3, got %d", d))
+	}
+	c := &CCC{
+		Network: New(fmt.Sprintf("ccc-%d", d)),
+		Dim:     d,
+	}
+	n := 1 << d
+	c.Routers = make([][]DeviceID, n)
+	for w := 0; w < n; w++ {
+		c.Routers[w] = make([]DeviceID, d)
+		for i := 0; i < d; i++ {
+			c.Routers[w][i] = c.AddRouter(fmt.Sprintf("R%0*b.%d", d, w, i), 4)
+		}
+	}
+	for w := 0; w < n; w++ {
+		for i := 0; i < d; i++ {
+			// Cycle link toward position i+1.
+			c.Connect(c.Routers[w][i], CCCPortCW, c.Routers[w][(i+1)%d], CCCPortCCW)
+			// Cube link of dimension i, created once per pair.
+			if w < w^(1<<i) {
+				c.Connect(c.Routers[w][i], CCCPortCube, c.Routers[w^(1<<i)][i], CCCPortCube)
+			}
+		}
+	}
+	for w := 0; w < n; w++ {
+		for i := 0; i < d; i++ {
+			nd := c.AddNode(fmt.Sprintf("N%d", w*d+i))
+			c.Connect(c.Routers[w][i], CCCPortNode, nd, 0)
+		}
+	}
+	// Structural cut: top cube dimension.
+	side := make([]bool, c.NumDevices())
+	for w := 0; w < n; w++ {
+		right := w&(1<<(d-1)) != 0
+		for i := 0; i < d; i++ {
+			side[c.Routers[w][i]] = right
+		}
+	}
+	for _, nd := range c.Nodes() {
+		idx := c.NodeIndex(nd)
+		side[nd] = (idx/d)&(1<<(d-1)) != 0
+	}
+	c.AddSeedCut(side)
+	c.MustValidate()
+	return c
+}
+
+// Position returns the (corner, position) of a node address.
+func (c *CCC) Position(nodeIdx int) (w, i int) { return nodeIdx / c.Dim, nodeIdx % c.Dim }

@@ -1,0 +1,32 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the network in Graphviz DOT form: routers as boxes, end
+// nodes as circles, links as undirected edges labeled with the ports they
+// join. It is used by cmd/fractagen for visual inspection of constructions.
+func (n *Network) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n", n.Name); err != nil {
+		return err
+	}
+	for _, d := range n.devices {
+		shape := "box"
+		if d.Kind == Node {
+			shape = "ellipse"
+		}
+		if _, err := fmt.Fprintf(w, "  d%d [label=%q shape=%s];\n", d.ID, d.Name, shape); err != nil {
+			return err
+		}
+	}
+	for _, l := range n.links {
+		if _, err := fmt.Fprintf(w, "  d%d -- d%d [label=\"%d:%d\"];\n",
+			l.A.Device, l.B.Device, l.A.Port, l.B.Port); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,52 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Build the paper's Figure 7 network and inspect its structure.
+func ExampleNewFractahedron() {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	fmt.Printf("%s: %d nodes, %d routers, %d links\n",
+		f.Name, f.NumNodes(), f.NumRouters(), f.NumLinks())
+	fmt.Printf("level-2 layers: %d\n", f.Cfg.Layers(2))
+	// Output:
+	// fat-fractahedron-g4d2-N2: 64 nodes, 48 routers, 168 links
+	// level-2 layers: 4
+}
+
+// The 2-3-1 port split of the paper's tetrahedral routers.
+func ExampleFractConfig_RouterPorts() {
+	cfg := topology.Tetra(1, false)
+	fmt.Printf("ports: %d (down %d, intra %d, up 1)\n",
+		cfg.RouterPorts(), cfg.Down, cfg.Group-1)
+	// Output:
+	// ports: 6 (down 2, intra 3, up 1)
+}
+
+// Table 1's capacity column: 2*8^N CPUs with the fan-out stage.
+func ExampleFractConfig_MaxNodes() {
+	for n := 1; n <= 3; n++ {
+		cfg := topology.Tetra(n, true)
+		cfg.Fanout = true
+		fmt.Println(cfg.MaxNodes())
+	}
+	// Output:
+	// 16
+	// 128
+	// 1024
+}
+
+// The §2.3 cable schedule of a two-level fat fractahedron.
+func ExampleFractahedron_CableBOM() {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	for _, row := range f.CableBOM() {
+		if row.Conductors > 1 {
+			fmt.Printf("%s: %d cables x %d conductors\n", row.Kind, row.Cables, row.Conductors)
+		}
+	}
+	// Output:
+	// L1->L2 bundle: 8 cables x 4 conductors
+}

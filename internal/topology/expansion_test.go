@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// linkSet renders a network's links as stable (name:port, name:port) keys,
+// order-normalized, so wiring can be compared across rebuilds whose device
+// IDs differ.
+func linkSet(n *Network) map[string]bool {
+	set := make(map[string]bool, n.NumLinks())
+	for _, l := range n.Links() {
+		a := fmt.Sprintf("%s:%d", n.Device(l.A.Device).Name, l.A.Port)
+		b := fmt.Sprintf("%s:%d", n.Device(l.B.Device).Name, l.B.Port)
+		if a > b {
+			a, b = b, a
+		}
+		set[a+"|"+b] = true
+	}
+	return set
+}
+
+func subset(small, big map[string]bool) (missing string, ok bool) {
+	for k := range small {
+		if !big[k] {
+			return k, false
+		}
+	}
+	return "", true
+}
+
+func TestPartialPopulationCounts(t *testing.T) {
+	cfg := Tetra(2, true)
+	cfg.Populate = 8 // one level-1 tetrahedron's worth of addresses
+	f := NewFractahedron(cfg)
+	if f.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", f.NumNodes())
+	}
+	// One level-1 tetrahedron + the full level-2 layer stack (reserved for
+	// the rest of the system): 4 + 16 routers.
+	if f.NumRouters() != 20 {
+		t.Errorf("routers = %d, want 20", f.NumRouters())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §2.3: "we reserve the upward connections from the top level for future
+// expansion to avoid the need to remove existing connections as a system is
+// expanded." Growing the population only ever adds links.
+func TestPopulationExpansionAddsLinksOnly(t *testing.T) {
+	for _, fat := range []bool{false, true} {
+		prev := map[string]bool{}
+		for _, p := range []int{4, 8, 16, 40, 64} {
+			cfg := Tetra(2, fat)
+			cfg.Populate = p
+			f := NewFractahedron(cfg)
+			cur := linkSet(f.Network)
+			if miss, ok := subset(prev, cur); !ok {
+				t.Fatalf("fat=%v: expanding to %d addresses removed link %s", fat, p, miss)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Growing the DEPTH likewise only adds links: a 16-CPU N=1 system becomes
+// part of a 128-CPU N=2 system without rewiring (§2.2's growth path).
+func TestDepthExpansionAddsLinksOnly(t *testing.T) {
+	for _, fat := range []bool{false, true} {
+		for _, fan := range []bool{false, true} {
+			small := Tetra(1, fat)
+			small.Fanout = fan
+			big := Tetra(2, fat)
+			big.Fanout = fan
+			s := NewFractahedron(small)
+			b := NewFractahedron(big)
+			if miss, ok := subset(linkSet(s.Network), linkSet(b.Network)); !ok {
+				t.Errorf("fat=%v fan=%v: deepening removed link %s", fat, fan, miss)
+			}
+		}
+	}
+}
+
+// Property: random populations produce valid, connected networks whose
+// wiring is monotone in the population.
+func TestPopulationMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := FractConfig{
+			Group:  3 + rng.Intn(2),
+			Down:   1 + rng.Intn(2),
+			Levels: 1 + rng.Intn(2),
+			Fat:    rng.Intn(2) == 0,
+		}
+		full := cfg.Children()
+		for i := 1; i < cfg.Levels; i++ {
+			full *= cfg.Children()
+		}
+		p1 := 1 + rng.Intn(full)
+		p2 := p1 + rng.Intn(full-p1+1)
+		a := cfg
+		a.Populate = p1
+		b := cfg
+		b.Populate = p2
+		fa := NewFractahedron(a)
+		fb := NewFractahedron(b)
+		if fa.NumNodes() != p1 || fb.NumNodes() != p2 {
+			return false
+		}
+		if err := fa.Validate(); err != nil {
+			return false
+		}
+		_, ok := subset(linkSet(fa.Network), linkSet(fb.Network))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// §2.3's wiring description, reconstructed: in a fat N=2 system each
+// level-1 tetrahedron's four up-links bundle into one four-conductor cable;
+// at N=3 each level-2 ensemble's sixteen up-links form the paper's
+// "16-conductor cable".
+func TestCableBOM(t *testing.T) {
+	f2 := NewFractahedron(Tetra(2, true))
+	rows := map[string]CableClass{}
+	totalLinks := 0
+	for _, r := range f2.CableBOM() {
+		rows[fmt.Sprintf("%s/%d", r.Kind, r.Conductors)] = r
+		totalLinks += r.Cables * r.Conductors
+	}
+	if got := rows["L1->L2 bundle/4"]; got.Cables != 8 {
+		t.Errorf("N=2: L1->L2 4-conductor cables = %d, want 8", got.Cables)
+	}
+	if totalLinks != f2.NumLinks() {
+		t.Errorf("BOM covers %d links, network has %d", totalLinks, f2.NumLinks())
+	}
+
+	f3 := NewFractahedron(Tetra(3, true))
+	rows3 := map[string]CableClass{}
+	for _, r := range f3.CableBOM() {
+		rows3[fmt.Sprintf("%s/%d", r.Kind, r.Conductors)] = r
+	}
+	if got := rows3["L1->L2 bundle/4"]; got.Cables != 64 {
+		t.Errorf("N=3: 4-conductor cables = %d, want 64", got.Cables)
+	}
+	if got := rows3["L2->L3 bundle/16"]; got.Cables != 8 {
+		t.Errorf("N=3: 16-conductor cables = %d, want 8 (the paper's cable)", got.Cables)
+	}
+}
+
+// Thin fractahedrons use single-link bundles upward.
+func TestCableBOMThin(t *testing.T) {
+	f := NewFractahedron(Tetra(2, false))
+	for _, r := range f.CableBOM() {
+		if r.Kind == "L1->L2 bundle" {
+			if r.Conductors != 1 || r.Cables != 8 {
+				t.Errorf("thin bundle row %+v, want 8 single-conductor cables", r)
+			}
+		}
+	}
+	if !strings.Contains(BOMString(f.CableBOM()), "total:") {
+		t.Error("BOM text missing total")
+	}
+}

@@ -1,0 +1,365 @@
+package topology
+
+import "fmt"
+
+// FractConfig parameterizes a fractahedron (§2.2–2.3 of the paper). The
+// paper's concrete family uses tetrahedral ensembles of 6-port routers:
+// Group = 4, Down = 2, giving the 2-3-1 port split (2 down, 3 intra, 1 up).
+// The construction generalizes to any fully-connected group, which the
+// paper's conclusion calls out; Group and Down expose that generalization.
+type FractConfig struct {
+	Group  int  // routers per fully-connected ensemble (4 = tetrahedron)
+	Down   int  // down ports per router (2 in the paper)
+	Levels int  // recursion depth N >= 1
+	Fat    bool // replicate higher-level ensembles into layers (§2.3)
+
+	// Fanout adds the paper's extra router level between end nodes and the
+	// level-1 ensembles: each level-1 down port carries a fan-out router
+	// serving FanoutNodes CPUs. With Group=4, Down=2, FanoutNodes=2 this
+	// yields the paper's 2*8^N node counts (Table 1).
+	Fanout      bool
+	FanoutNodes int // children per fan-out router; defaults to 2 when Fanout
+	// FanoutDepth is the number of added router levels between a level-1
+	// down port and the end nodes (§2.2: "one or two added router levels
+	// are typically needed"). Defaults to 1 when Fanout; each level
+	// multiplies capacity by FanoutNodes.
+	FanoutDepth int
+
+	// Populate, when positive, occupies only the first Populate level-1
+	// down positions ("the topology scales to any number of nodes", §4):
+	// ensembles whose address range is empty are not built, and growing
+	// Populate — or Levels — only ever ADDS links, never rewires existing
+	// ones, the §2.3 expansion property the tests verify.
+	Populate int
+}
+
+// Tetra is the paper's tetrahedral configuration at a given depth.
+func Tetra(levels int, fat bool) FractConfig {
+	return FractConfig{Group: 4, Down: 2, Levels: levels, Fat: fat}
+}
+
+// Children reports the number of child positions per ensemble (Group*Down).
+func (c FractConfig) Children() int { return c.Group * c.Down }
+
+// RouterPorts reports the ports each router needs: Down + (Group-1) + 1 up.
+func (c FractConfig) RouterPorts() int { return c.Down + c.Group - 1 + 1 }
+
+// Addresses reports the number of occupied level-1 down positions:
+// (Group*Down)^Levels, or Populate when a partial population is requested.
+func (c FractConfig) Addresses() int {
+	full := pow(c.Children(), c.Levels)
+	if c.Populate > 0 && c.Populate < full {
+		return c.Populate
+	}
+	return full
+}
+
+// MaxNodes reports the end-node capacity: Addresses(), times
+// FanoutNodes^FanoutDepth when the fan-out stage is present.
+func (c FractConfig) MaxNodes() int {
+	if c.Fanout {
+		return c.Addresses() * c.NodesPerAddress()
+	}
+	return c.Addresses()
+}
+
+// FanoutDepthOrDefault returns the fan-out stage depth (1 when unset).
+func (c FractConfig) FanoutDepthOrDefault() int {
+	if c.FanoutDepth > 0 {
+		return c.FanoutDepth
+	}
+	return 1
+}
+
+// NodesPerAddress reports the end nodes served by one level-1 down port.
+func (c FractConfig) NodesPerAddress() int {
+	if !c.Fanout {
+		return 1
+	}
+	return pow(c.FanoutNodesOrDefault(), c.FanoutDepthOrDefault())
+}
+
+// Layers reports the layer count of a level-k ensemble: Group^(k-1) for fat
+// fractahedrons (level 1 always has a single layer), 1 for thin.
+func (c FractConfig) Layers(level int) int {
+	if !c.Fat || level == 1 {
+		return 1
+	}
+	return pow(c.Group, level-1)
+}
+
+// FanoutNodesOrDefault returns the nodes each fan-out router serves,
+// defaulting to the paper's pair of CPUs.
+func (c FractConfig) FanoutNodesOrDefault() int {
+	if c.FanoutNodes > 0 {
+		return c.FanoutNodes
+	}
+	return 2
+}
+
+func (c FractConfig) name() string {
+	kind := "thin"
+	if c.Fat {
+		kind = "fat"
+	}
+	fan := ""
+	if c.Fanout {
+		fan = "-fan"
+	}
+	return fmt.Sprintf("%s-fractahedron-g%dd%d-N%d%s", kind, c.Group, c.Down, c.Levels, fan)
+}
+
+func (c FractConfig) validate() {
+	if c.Group < 2 {
+		panic(fmt.Sprintf("topology: fractahedron group %d < 2", c.Group))
+	}
+	if c.Down < 1 {
+		panic(fmt.Sprintf("topology: fractahedron down ports %d < 1", c.Down))
+	}
+	if c.Levels < 1 {
+		panic(fmt.Sprintf("topology: fractahedron levels %d < 1", c.Levels))
+	}
+	if c.Populate < 0 || c.Populate > pow(c.Children(), c.Levels) {
+		panic(fmt.Sprintf("topology: fractahedron population %d out of range", c.Populate))
+	}
+	if c.Fanout && c.FanoutNodesOrDefault() > c.RouterPorts()-1 {
+		panic(fmt.Sprintf("topology: %d fan-out children exceed the %d-port budget",
+			c.FanoutNodesOrDefault(), c.RouterPorts()))
+	}
+}
+
+// exists reports whether ensemble e at a level holds any occupied address.
+func (c FractConfig) exists(level, e int) bool {
+	return e*pow(c.Children(), level) < c.Addresses()
+}
+
+// FractRouter is the structural position of a fractahedron router: the
+// recursion level, the ensemble index at that level (0 at the top level),
+// the layer within the ensemble (always 0 for thin and for level 1), and
+// the router index within the layer's fully-connected group.
+type FractRouter struct {
+	Level, Ensemble, Layer, R int
+}
+
+// Fractahedron is a thin or fat fractahedral network (Figures 4, 5 and 7 of
+// the paper).
+//
+// Addressing: a level-1 down position ("address") a in [0, Children^Levels)
+// has one base-Children digit per level, Digit(a, k) for k = Levels..1; each
+// digit (r*Down+p) selects router r and down port p inside the level-k
+// ensemble on the path. Ensemble e at level k covers addresses
+// [e*Children^k, (e+1)*Children^k).
+//
+// Port layout per router: ports 0..Down-1 down; Down..Down+Group-2 intra
+// (port Down+IntraIndex(r,s) of router r leads to router s); the last port
+// is up. Up ports of the top level are left unwired, reserved for expansion
+// exactly as the paper prescribes.
+type Fractahedron struct {
+	*Network
+	Cfg FractConfig
+
+	routers map[FractRouter]DeviceID
+	meta    map[DeviceID]FractRouter
+	fanouts []DeviceID          // top fan-out router per address, when Cfg.Fanout
+	fanSpan map[DeviceID][2]int // per fan-out router: node index range [lo, hi)
+}
+
+// NewFractahedron builds the fractahedron described by cfg, fully populated.
+func NewFractahedron(cfg FractConfig) *Fractahedron {
+	cfg.validate()
+	f := &Fractahedron{
+		Network: New(cfg.name()),
+		Cfg:     cfg,
+		routers: make(map[FractRouter]DeviceID),
+		meta:    make(map[DeviceID]FractRouter),
+		fanSpan: make(map[DeviceID][2]int),
+	}
+	C := cfg.Children()
+
+	// Routers and intra-ensemble (fully connected) links; only ensembles
+	// holding occupied addresses are built.
+	for level := 1; level <= cfg.Levels; level++ {
+		ensembles := pow(C, cfg.Levels-level)
+		for e := 0; e < ensembles; e++ {
+			if !cfg.exists(level, e) {
+				continue
+			}
+			for layer := 0; layer < cfg.Layers(level); layer++ {
+				for r := 0; r < cfg.Group; r++ {
+					key := FractRouter{level, e, layer, r}
+					id := f.AddRouter(fmt.Sprintf("L%d.e%d.l%d.r%d", level, e, layer, r), cfg.RouterPorts())
+					f.routers[key] = id
+					f.meta[id] = key
+				}
+				for r := 0; r < cfg.Group; r++ {
+					for s := r + 1; s < cfg.Group; s++ {
+						f.Connect(
+							f.routers[FractRouter{level, e, layer, r}], f.IntraPort(r, s),
+							f.routers[FractRouter{level, e, layer, s}], f.IntraPort(s, r))
+					}
+				}
+			}
+		}
+	}
+
+	// Inter-level down links for levels >= 2, to existing children only.
+	for level := cfg.Levels; level >= 2; level-- {
+		ensembles := pow(C, cfg.Levels-level)
+		for e := 0; e < ensembles; e++ {
+			if !cfg.exists(level, e) {
+				continue
+			}
+			for layer := 0; layer < cfg.Layers(level); layer++ {
+				for r := 0; r < cfg.Group; r++ {
+					for p := 0; p < cfg.Down; p++ {
+						child := e*C + r*cfg.Down + p
+						if !cfg.exists(level-1, child) {
+							continue
+						}
+						var childKey FractRouter
+						if cfg.Fat {
+							// Layer index decomposes as m*Layers(level-1)+s:
+							// m names the corner of the child ensemble, s the
+							// child layer reached.
+							m := layer / cfg.Layers(level-1)
+							s := layer % cfg.Layers(level-1)
+							childKey = FractRouter{level - 1, child, s, m}
+						} else {
+							childKey = FractRouter{level - 1, child, 0, 0}
+						}
+						f.Connect(f.routers[FractRouter{level, e, layer, r}], p,
+							f.routers[childKey], f.UpPort())
+					}
+				}
+			}
+		}
+	}
+
+	// Level-1 down links: end nodes, or fan-out trees carrying end nodes.
+	for a := 0; a < cfg.Addresses(); a++ {
+		e, r, p := a/C, (a%C)/cfg.Down, a%cfg.Down
+		l1 := f.routers[FractRouter{1, e, 0, r}]
+		if cfg.Fanout {
+			fan := f.buildFanout(a, a*cfg.NodesPerAddress(), cfg.FanoutDepthOrDefault())
+			f.fanouts = append(f.fanouts, fan)
+			f.Connect(l1, p, fan, f.UpPort())
+		} else {
+			nd := f.AddNode(fmt.Sprintf("N%d", a))
+			f.Connect(l1, p, nd, 0)
+		}
+	}
+
+	// Structural cut: addresses below the midpoint vs above. With Children=8
+	// this puts the children of top routers 0,1 on one side and of 2,3 on
+	// the other — the cut §2.3's layer analysis makes natural.
+	side := make([]bool, f.NumDevices())
+	for _, nd := range f.Nodes() {
+		side[nd] = f.NodeIndex(nd) >= f.NumNodes()/2
+	}
+	f.AddSeedCut(side)
+
+	f.MustValidate()
+	return f
+}
+
+// buildFanout creates a fan-out subtree of the given depth serving node
+// indices [base, base + FanoutNodes^depth) and returns its root router.
+func (f *Fractahedron) buildFanout(addr, base, depth int) DeviceID {
+	k := f.Cfg.FanoutNodesOrDefault()
+	span := pow(k, depth)
+	root := f.AddRouter(fmt.Sprintf("F%d.d%d.n%d", addr, depth, base), f.Cfg.RouterPorts())
+	f.fanSpan[root] = [2]int{base, base + span}
+	for j := 0; j < k; j++ {
+		if depth == 1 {
+			nd := f.AddNode(fmt.Sprintf("N%d", base+j))
+			f.Connect(root, j, nd, 0)
+			continue
+		}
+		child := f.buildFanout(addr, base+j*span/k, depth-1)
+		f.Connect(root, j, child, f.UpPort())
+	}
+	return root
+}
+
+// FanoutSpan returns the node index range [lo, hi) a fan-out router serves.
+func (f *Fractahedron) FanoutSpan(r DeviceID) (lo, hi int) {
+	span, ok := f.fanSpan[r]
+	if !ok {
+		panic(fmt.Sprintf("topology: device %d is not a fan-out router", r))
+	}
+	return span[0], span[1]
+}
+
+// IntraPort returns the port on router r leading to router s of the same
+// layer (r != s).
+func (f *Fractahedron) IntraPort(r, s int) int {
+	if r == s {
+		panic("topology: IntraPort of a router to itself")
+	}
+	if s < r {
+		return f.Cfg.Down + s
+	}
+	return f.Cfg.Down + s - 1
+}
+
+// UpPort returns the port index every router uses toward the next level.
+func (f *Fractahedron) UpPort() int { return f.Cfg.RouterPorts() - 1 }
+
+// Meta returns the structural position of a fractahedron router. Fan-out
+// routers report level 0, with Ensemble holding the address they serve.
+func (f *Fractahedron) Meta(r DeviceID) FractRouter {
+	if m, ok := f.meta[r]; ok {
+		return m
+	}
+	if span, ok := f.fanSpan[r]; ok {
+		return FractRouter{Level: 0, Ensemble: span[0] / f.Cfg.NodesPerAddress()}
+	}
+	panic(fmt.Sprintf("topology: device %d is not a fractahedron router", r))
+}
+
+// RouterAt returns the router at a structural position.
+func (f *Fractahedron) RouterAt(key FractRouter) DeviceID {
+	r, ok := f.routers[key]
+	if !ok {
+		panic(fmt.Sprintf("topology: no fractahedron router at %+v", key))
+	}
+	return r
+}
+
+// Fanout returns the fan-out router serving an address (only when the
+// configuration has a fan-out stage).
+func (f *Fractahedron) Fanout(a int) DeviceID {
+	if !f.Cfg.Fanout {
+		panic("topology: fractahedron has no fan-out stage")
+	}
+	return f.fanouts[a]
+}
+
+// AddrOfNode returns the level-1 down position serving node address idx.
+func (f *Fractahedron) AddrOfNode(idx int) int {
+	return idx / f.Cfg.NodesPerAddress()
+}
+
+// Digit extracts the base-Children digit of an address at a level (1-based).
+func (f *Fractahedron) Digit(a, level int) int {
+	return a / pow(f.Cfg.Children(), level-1) % f.Cfg.Children()
+}
+
+// CommonLevel returns the lowest level whose ensemble contains both
+// addresses (1 if they share a level-1 ensemble).
+func (f *Fractahedron) CommonLevel(a, b int) int {
+	C := f.Cfg.Children()
+	capacity := C
+	for l := 1; l <= f.Cfg.Levels; l++ {
+		if a/capacity == b/capacity {
+			return l
+		}
+		capacity *= C
+	}
+	panic(fmt.Sprintf("topology: addresses %d and %d share no ensemble", a, b))
+}
+
+// EnsembleAt returns the ensemble index containing an address at a level.
+func (f *Fractahedron) EnsembleAt(a, level int) int {
+	return a / pow(f.Cfg.Children(), level)
+}

@@ -1,0 +1,76 @@
+package topology
+
+import "fmt"
+
+// FullMesh is a fully-connected assembly of M routers (Figure 3 of the
+// paper): every pair of routers is joined by one link, and every remaining
+// router port carries an end node. With P-port routers, each router spends
+// M-1 ports on intra-group links and exposes P-M+1 node ports, so the group
+// connects M*(P-M+1) nodes.
+//
+// Port layout per router: ports 0..M-2 are intra-group (port i of router r
+// leads to the i-th other router in increasing ID order), ports M-1..P-1
+// carry nodes.
+type FullMesh struct {
+	*Network
+	M              int        // routers in the group
+	RouterPorts    int        // ports per router
+	NodesPerRouter int        // P - M + 1
+	Routers        []DeviceID // the M routers
+	NodesOf        [][]DeviceID
+}
+
+// NewFullMesh builds a fully-connected group of m routers with ports ports
+// each. Node addresses are assigned router-major: node r*(P-M+1)+j is the
+// j-th node of router r, so routing needs only the high bits of the address
+// to select the router (the property §2.1 of the paper calls out).
+func NewFullMesh(m, ports int) *FullMesh {
+	if m < 1 {
+		panic(fmt.Sprintf("topology: full mesh needs at least 1 router, got %d", m))
+	}
+	if ports < m {
+		panic(fmt.Sprintf("topology: %d-port routers cannot fully connect %d routers", ports, m))
+	}
+	fm := &FullMesh{
+		Network:        New(fmt.Sprintf("fullmesh-%dx%dport", m, ports)),
+		M:              m,
+		RouterPorts:    ports,
+		NodesPerRouter: ports - m + 1,
+	}
+	for r := 0; r < m; r++ {
+		fm.Routers = append(fm.Routers, fm.AddRouter(fmt.Sprintf("R%d", r), ports))
+	}
+	// Intra-group links: port i of router r leads to the i-th other router.
+	for r := 0; r < m; r++ {
+		for s := r + 1; s < m; s++ {
+			fm.Connect(fm.Routers[r], fm.IntraPort(r, s), fm.Routers[s], fm.IntraPort(s, r))
+		}
+	}
+	fm.NodesOf = make([][]DeviceID, m)
+	for r := 0; r < m; r++ {
+		for j := 0; j < fm.NodesPerRouter; j++ {
+			nd := fm.AddNode(fmt.Sprintf("N%d", r*fm.NodesPerRouter+j))
+			fm.Connect(fm.Routers[r], m-1+j, nd, 0)
+			fm.NodesOf[r] = append(fm.NodesOf[r], nd)
+		}
+	}
+	fm.MustValidate()
+	return fm
+}
+
+// IntraPort returns the port on router r that leads to router s (r != s).
+func (fm *FullMesh) IntraPort(r, s int) int {
+	if r == s {
+		panic("topology: IntraPort of a router to itself")
+	}
+	if s < r {
+		return s
+	}
+	return s - 1
+}
+
+// RouterOfNode returns the group-router index serving node address idx.
+func (fm *FullMesh) RouterOfNode(idx int) int { return idx / fm.NodesPerRouter }
+
+// NodePort returns the router port carrying node address idx.
+func (fm *FullMesh) NodePort(idx int) int { return fm.M - 1 + idx%fm.NodesPerRouter }

@@ -1,0 +1,78 @@
+package topology
+
+import "fmt"
+
+// Hypercube is a d-dimensional binary hypercube of routers, with nodesPer
+// end nodes per router. Router i (0 <= i < 2^d) differs from its neighbor
+// across dimension k by bit k. Port k (0 <= k < d) is the dimension-k link;
+// node ports follow.
+//
+// §3.2 of the paper observes that a 64-node (6-D) hypercube needs 7-port
+// routers, so it cannot be built from ServerNet's 6-port parts; the builder
+// exposes the port arithmetic (PortsNeeded) for that comparison.
+type Hypercube struct {
+	*Network
+	Dim      int
+	NodesPer int
+	Routers  []DeviceID // router index = hypercube coordinate
+}
+
+// HypercubePortsNeeded reports the router port count a d-dimensional
+// hypercube with nodesPer nodes per router requires.
+func HypercubePortsNeeded(dim, nodesPer int) int { return dim + nodesPer }
+
+// NewHypercube builds a d-dimensional hypercube. Node address r*nodesPer+j
+// is the j-th node of router r.
+func NewHypercube(dim, nodesPer int) *Hypercube {
+	if dim < 1 || dim > 20 || nodesPer < 0 {
+		panic(fmt.Sprintf("topology: bad hypercube dim=%d nodesPer=%d", dim, nodesPer))
+	}
+	h := &Hypercube{
+		Network:  New(fmt.Sprintf("hypercube-%dd", dim)),
+		Dim:      dim,
+		NodesPer: nodesPer,
+	}
+	n := 1 << dim
+	for i := 0; i < n; i++ {
+		h.Routers = append(h.Routers, h.AddRouter(fmt.Sprintf("R%0*b", dim, i), dim+nodesPer))
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < dim; k++ {
+			j := i ^ (1 << k)
+			if i < j {
+				h.Connect(h.Routers[i], k, h.Routers[j], k)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < nodesPer; j++ {
+			nd := h.AddNode(fmt.Sprintf("N%d", i*nodesPer+j))
+			h.Connect(h.Routers[i], dim+j, nd, 0)
+		}
+	}
+	// Structural cut: split on the top dimension bit.
+	side := make([]bool, h.NumDevices())
+	for i := 0; i < n; i++ {
+		right := i&(1<<(dim-1)) != 0
+		side[h.Routers[i]] = right
+	}
+	for _, nd := range h.Nodes() {
+		side[nd] = side[h.Routers[h.NodeIndex(nd)/maxInt(nodesPer, 1)]]
+	}
+	h.AddSeedCut(side)
+	h.MustValidate()
+	return h
+}
+
+// RouterOfNode returns the hypercube coordinate serving node address idx.
+func (h *Hypercube) RouterOfNode(idx int) int { return idx / h.NodesPer }
+
+// NodePort returns the router port carrying node address idx.
+func (h *Hypercube) NodePort(idx int) int { return h.Dim + idx%h.NodesPer }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

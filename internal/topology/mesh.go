@@ -1,0 +1,131 @@
+package topology
+
+import "fmt"
+
+// Mesh ports on each router: +X, -X, +Y, -Y, then node ports. §3.1 of the
+// paper devotes four ports of a 6-port router to the four mesh directions
+// and the remaining two to nodes.
+const (
+	MeshPortXPlus  = 0
+	MeshPortXMinus = 1
+	MeshPortYPlus  = 2
+	MeshPortYMinus = 3
+	MeshPortNode0  = 4
+)
+
+// Mesh is a 2-D mesh (optionally a torus) of routers with NodesPer end
+// nodes attached to each router. Router (x, y) sits at column x, row y.
+type Mesh struct {
+	*Network
+	Cols, Rows int
+	NodesPer   int
+	Wrap       bool // torus when true
+	RouterAt   [][]DeviceID
+	coord      map[DeviceID][2]int
+}
+
+// NewMesh builds a cols x rows 2-D mesh with nodesPer end nodes per router.
+// Router ports: 4 directions + nodesPer node ports. Node addresses are
+// row-major: node (y*cols+x)*nodesPer + j is the j-th node of router (x,y).
+func NewMesh(cols, rows, nodesPer int) *Mesh {
+	return newMesh(cols, rows, nodesPer, false)
+}
+
+// NewTorus builds a cols x rows 2-D torus (wraparound mesh).
+func NewTorus(cols, rows, nodesPer int) *Mesh {
+	return newMesh(cols, rows, nodesPer, true)
+}
+
+func newMesh(cols, rows, nodesPer int, wrap bool) *Mesh {
+	if cols < 1 || rows < 1 || nodesPer < 0 {
+		panic(fmt.Sprintf("topology: bad mesh dimensions %dx%dx%d", cols, rows, nodesPer))
+	}
+	kind := "mesh"
+	if wrap {
+		kind = "torus"
+		if cols < 3 || rows < 3 {
+			panic("topology: torus needs at least 3x3 (smaller wraps create parallel or self links)")
+		}
+	}
+	m := &Mesh{
+		Network:  New(fmt.Sprintf("%s-%dx%d", kind, cols, rows)),
+		Cols:     cols,
+		Rows:     rows,
+		NodesPer: nodesPer,
+		Wrap:     wrap,
+		coord:    make(map[DeviceID][2]int),
+	}
+	m.RouterAt = make([][]DeviceID, cols)
+	for x := 0; x < cols; x++ {
+		m.RouterAt[x] = make([]DeviceID, rows)
+		for y := 0; y < rows; y++ {
+			r := m.AddRouter(fmt.Sprintf("R(%d,%d)", x, y), 4+nodesPer)
+			m.RouterAt[x][y] = r
+			m.coord[r] = [2]int{x, y}
+		}
+	}
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			if x+1 < cols {
+				m.Connect(m.RouterAt[x][y], MeshPortXPlus, m.RouterAt[x+1][y], MeshPortXMinus)
+			} else if wrap {
+				m.Connect(m.RouterAt[x][y], MeshPortXPlus, m.RouterAt[0][y], MeshPortXMinus)
+			}
+			if y+1 < rows {
+				m.Connect(m.RouterAt[x][y], MeshPortYPlus, m.RouterAt[x][y+1], MeshPortYMinus)
+			} else if wrap {
+				m.Connect(m.RouterAt[x][y], MeshPortYPlus, m.RouterAt[x][0], MeshPortYMinus)
+			}
+		}
+	}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			for j := 0; j < nodesPer; j++ {
+				nd := m.AddNode(fmt.Sprintf("N%d", (y*cols+x)*nodesPer+j))
+				m.Connect(m.RouterAt[x][y], MeshPortNode0+j, nd, 0)
+			}
+		}
+	}
+	// Structural cut: split columns in half.
+	if cols%2 == 0 || rows%2 == 0 {
+		side := make([]bool, m.NumDevices())
+		for x := 0; x < cols; x++ {
+			for y := 0; y < rows; y++ {
+				right := x >= cols/2
+				if cols%2 != 0 {
+					right = y >= rows/2
+				}
+				side[m.RouterAt[x][y]] = right
+			}
+		}
+		for _, nd := range m.Nodes() {
+			x, y := m.NodeCoord(m.NodeIndex(nd))
+			right := x >= cols/2
+			if cols%2 != 0 {
+				right = y >= rows/2
+			}
+			side[nd] = right
+		}
+		m.AddSeedCut(side)
+	}
+	m.MustValidate()
+	return m
+}
+
+// Coord returns the (x, y) position of a mesh router.
+func (m *Mesh) Coord(r DeviceID) (x, y int) {
+	c, ok := m.coord[r]
+	if !ok {
+		panic(fmt.Sprintf("topology: device %d is not a mesh router", r))
+	}
+	return c[0], c[1]
+}
+
+// NodeCoord returns the router position serving node address idx.
+func (m *Mesh) NodeCoord(idx int) (x, y int) {
+	r := idx / m.NodesPer
+	return r % m.Cols, r / m.Cols
+}
+
+// NodePort returns the router port carrying node address idx.
+func (m *Mesh) NodePort(idx int) int { return MeshPortNode0 + idx%m.NodesPer }

@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a network from a simple line-oriented description, so the
+// analysis and simulation tooling can be pointed at arbitrary hand-drawn
+// topologies (cmd tools accept it via the "file:" spec):
+//
+//	# comment (blank lines ignored)
+//	router <name> <ports>
+//	node <name>
+//	link <a>[:<port>] <b>[:<port>]
+//
+// Device names must be unique. A link endpoint without an explicit port
+// uses the device's lowest free port. The parsed network is validated
+// (every node wired, connected) before being returned.
+func Parse(r io.Reader, name string) (*Network, error) {
+	net := New(name)
+	devs := make(map[string]DeviceID)
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("topology: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "router":
+			if len(fields) != 3 {
+				return nil, fail("want 'router <name> <ports>'")
+			}
+			ports, err := strconv.Atoi(fields[2])
+			if err != nil || ports < 1 || ports > 1024 {
+				return nil, fail("bad port count %q", fields[2])
+			}
+			if _, dup := devs[fields[1]]; dup {
+				return nil, fail("duplicate device %q", fields[1])
+			}
+			devs[fields[1]] = net.AddRouter(fields[1], ports)
+		case "node":
+			if len(fields) != 2 {
+				return nil, fail("want 'node <name>'")
+			}
+			if _, dup := devs[fields[1]]; dup {
+				return nil, fail("duplicate device %q", fields[1])
+			}
+			devs[fields[1]] = net.AddNode(fields[1])
+		case "link":
+			if len(fields) != 3 {
+				return nil, fail("want 'link <a>[:<port>] <b>[:<port>]'")
+			}
+			a, ap, err := endpoint(devs, fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			b, bp, err := endpoint(devs, fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if err := safeConnect(net, a, ap, b, bp); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func endpoint(devs map[string]DeviceID, s string) (DeviceID, int, error) {
+	name, portStr, hasPort := strings.Cut(s, ":")
+	d, ok := devs[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown device %q", name)
+	}
+	if !hasPort {
+		return d, -1, nil
+	}
+	p, err := strconv.Atoi(portStr)
+	if err != nil || p < 0 {
+		return 0, 0, fmt.Errorf("bad port %q", portStr)
+	}
+	return d, p, nil
+}
+
+// safeConnect performs Connect/ConnectNext, converting builder panics
+// (port collisions, out-of-range ports) into errors a parser can report.
+func safeConnect(net *Network, a DeviceID, ap int, b DeviceID, bp int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	if ap < 0 {
+		ap = net.FreePort(a)
+	}
+	if bp < 0 {
+		bp = net.FreePort(b)
+	}
+	net.Connect(a, ap, b, bp)
+	return nil
+}

@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTopo = `
+# a 3-router triangle with one node each
+router a 4
+router b 4
+router c 4
+node n0
+node n1
+node n2
+link a b
+link b c
+link c:1 a:1
+link a n0
+link b n1
+link c n2
+`
+
+func TestParseSample(t *testing.T) {
+	net, err := Parse(strings.NewReader(sampleTopo), "triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumRouters() != 3 || net.NumNodes() != 3 || net.NumLinks() != 6 {
+		t.Fatalf("routers=%d nodes=%d links=%d", net.NumRouters(), net.NumNodes(), net.NumLinks())
+	}
+	// Explicit ports honored: c:1 -- a:1.
+	var a, c DeviceID = -1, -1
+	for _, d := range net.Devices() {
+		switch d.Name {
+		case "a":
+			a = d.ID
+		case "c":
+			c = d.ID
+		}
+	}
+	l, ok := net.LinkAt(c, 1)
+	if !ok {
+		t.Fatal("c port 1 unwired")
+	}
+	far := net.OtherEnd(l, c)
+	if far.Device != a || far.Port != 1 {
+		t.Errorf("c:1 connects to %v, want a:1", far)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown directive", "frobnicate x"},
+		{"bad ports", "router a zero"},
+		{"duplicate name", "router a 2\nnode a"},
+		{"unknown device", "router a 2\nlink a b"},
+		{"port collision", "router a 2\nrouter b 2\nnode n\nlink a:0 b:0\nlink a:0 n"},
+		{"port out of range", "router a 2\nrouter b 2\nlink a:7 b:0"},
+		{"unwired node", "router a 2\nnode n0\nnode n1\nlink a n0"},
+		{"disconnected", "router a 2\nrouter b 2\nnode n0\nnode n1\nlink a n0\nlink b n1"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text), c.name); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseRoundTripThroughDOT(t *testing.T) {
+	// Parsed networks render to DOT like any other.
+	net, err := Parse(strings.NewReader(sampleTopo), "triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := net.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"a"`) {
+		t.Error("DOT output missing parsed device")
+	}
+}

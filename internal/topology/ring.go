@@ -1,0 +1,54 @@
+package topology
+
+import "fmt"
+
+// Ring port layout: clockwise, counter-clockwise, then node ports.
+const (
+	RingPortCW    = 0
+	RingPortCCW   = 1
+	RingPortNode0 = 2
+)
+
+// Ring is a cycle of routers with nodesPer end nodes each. It is the
+// smallest topology containing a loop and is used to demonstrate Figure 1's
+// wormhole deadlock.
+type Ring struct {
+	*Network
+	Size     int
+	NodesPer int
+	Routers  []DeviceID
+}
+
+// NewRing builds a ring of size routers. Node address r*nodesPer+j is the
+// j-th node of router r. Port RingPortCW of router r leads to router
+// (r+1) mod size.
+func NewRing(size, nodesPer int) *Ring {
+	if size < 3 {
+		panic(fmt.Sprintf("topology: ring needs at least 3 routers, got %d", size))
+	}
+	r := &Ring{
+		Network:  New(fmt.Sprintf("ring-%d", size)),
+		Size:     size,
+		NodesPer: nodesPer,
+	}
+	for i := 0; i < size; i++ {
+		r.Routers = append(r.Routers, r.AddRouter(fmt.Sprintf("R%d", i), 2+nodesPer))
+	}
+	for i := 0; i < size; i++ {
+		r.Connect(r.Routers[i], RingPortCW, r.Routers[(i+1)%size], RingPortCCW)
+	}
+	for i := 0; i < size; i++ {
+		for j := 0; j < nodesPer; j++ {
+			nd := r.AddNode(fmt.Sprintf("N%d", i*nodesPer+j))
+			r.Connect(r.Routers[i], RingPortNode0+j, nd, 0)
+		}
+	}
+	r.MustValidate()
+	return r
+}
+
+// RouterOfNode returns the ring position serving node address idx.
+func (r *Ring) RouterOfNode(idx int) int { return idx / r.NodesPer }
+
+// NodePort returns the router port carrying node address idx.
+func (r *Ring) NodePort(idx int) int { return RingPortNode0 + idx%r.NodesPer }

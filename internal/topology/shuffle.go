@@ -1,0 +1,71 @@
+package topology
+
+import "fmt"
+
+// Shuffle-exchange ports per router: exchange, shuffle (toward the left
+// rotation), unshuffle (toward the right rotation), node.
+const (
+	SEPortExchange  = 0
+	SEPortShuffle   = 1
+	SEPortUnshuffle = 2
+	SEPortNode      = 3
+)
+
+// ShuffleExchange is a shuffle-exchange network (another §2-listed MPP
+// topology) over 2^d routers: router w has an exchange link to w^1 and a
+// shuffle link to rotl(w) (full-duplex, so the reverse direction serves as
+// the unshuffle). Routers whose left rotation is themselves (all-zeros and
+// all-ones) have no shuffle link.
+type ShuffleExchange struct {
+	*Network
+	Dim     int
+	Routers []DeviceID
+}
+
+// NewShuffleExchange builds a d-dimensional shuffle-exchange network with
+// one end node per router.
+func NewShuffleExchange(d int) *ShuffleExchange {
+	if d < 2 {
+		panic(fmt.Sprintf("topology: shuffle-exchange needs dimension >= 2, got %d", d))
+	}
+	se := &ShuffleExchange{
+		Network: New(fmt.Sprintf("shuffle-exchange-%d", d)),
+		Dim:     d,
+	}
+	n := 1 << d
+	for w := 0; w < n; w++ {
+		se.Routers = append(se.Routers, se.AddRouter(fmt.Sprintf("R%0*b", d, w), 4))
+	}
+	rotl := func(w int) int { return ((w << 1) | (w >> (d - 1))) & (n - 1) }
+	for w := 0; w < n; w++ {
+		if w < w^1 {
+			se.Connect(se.Routers[w], SEPortExchange, se.Routers[w^1], SEPortExchange)
+		}
+		r := rotl(w)
+		if r == w {
+			continue // fixed points 00..0 and 11..1 have no shuffle link
+		}
+		// Create each shuffle cable from its source side. For 2-cycles of
+		// the rotation (e.g. 0101... <-> 1010...), rotl(rotl(w)) == w: the
+		// single cable serves both directions, created once.
+		if rotl(r) == w {
+			if w < r {
+				se.Connect(se.Routers[w], SEPortShuffle, se.Routers[r], SEPortShuffle)
+			}
+			continue
+		}
+		se.Connect(se.Routers[w], SEPortShuffle, se.Routers[r], SEPortUnshuffle)
+	}
+	for w := 0; w < n; w++ {
+		nd := se.AddNode(fmt.Sprintf("N%d", w))
+		se.Connect(se.Routers[w], SEPortNode, nd, 0)
+	}
+	se.MustValidate()
+	return se
+}
+
+// Rotl returns the left rotation of a router index.
+func (se *ShuffleExchange) Rotl(w int) int {
+	n := 1 << se.Dim
+	return ((w << 1) | (w >> (se.Dim - 1))) & (n - 1)
+}

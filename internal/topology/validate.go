@@ -1,0 +1,45 @@
+package topology
+
+import "fmt"
+
+// Validate checks structural invariants of the network: every end node is
+// wired on its single port, no router exceeds its port budget (guaranteed by
+// construction, re-checked here), and the network is connected. Builders
+// call it before returning.
+func (n *Network) Validate() error {
+	if len(n.devices) == 0 {
+		return fmt.Errorf("topology %q: empty network", n.Name)
+	}
+	for _, d := range n.devices {
+		used := n.UsedPorts(d.ID)
+		if used > d.Ports {
+			return fmt.Errorf("topology %q: device %s uses %d of %d ports",
+				n.Name, d.Name, used, d.Ports)
+		}
+		if d.Kind == Node && used != 1 {
+			return fmt.Errorf("topology %q: end node %s has %d links, want 1",
+				n.Name, d.Name, used)
+		}
+	}
+	for _, l := range n.links {
+		for _, end := range []PortRef{l.A, l.B} {
+			got, ok := n.LinkAt(end.Device, end.Port)
+			if !ok || got != l.ID {
+				return fmt.Errorf("topology %q: link %d not registered at %v",
+					n.Name, l.ID, end)
+			}
+		}
+	}
+	if !n.Ugraph().Connected() {
+		return fmt.Errorf("topology %q: network is not connected", n.Name)
+	}
+	return nil
+}
+
+// MustValidate panics if Validate fails; builders use it so malformed
+// constructions fail loudly at build time.
+func (n *Network) MustValidate() {
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,137 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func TestFractahedronSVG(t *testing.T) {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	var buf bytes.Buffer
+	if err := WriteFractahedronSVG(&buf, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got != f.NumRouters() {
+		t.Errorf("rects = %d, want %d routers", got, f.NumRouters())
+	}
+	if got := strings.Count(svg, "<circle"); got != f.NumNodes() {
+		t.Errorf("circles = %d, want %d nodes", got, f.NumNodes())
+	}
+	if got := strings.Count(svg, "<line"); got != f.NumLinks() {
+		t.Errorf("lines = %d, want %d links", got, f.NumLinks())
+	}
+}
+
+func TestFatTreeSVG(t *testing.T) {
+	ft := topology.NewFatTree(4, 2, 16)
+	var buf bytes.Buffer
+	if err := WriteFatTreeSVG(&buf, ft, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.String())
+	if got := strings.Count(buf.String(), "<rect"); got != ft.NumRouters() {
+		t.Errorf("rects = %d, want %d", got, ft.NumRouters())
+	}
+}
+
+func TestGenericSVGWithHighlight(t *testing.T) {
+	c := topology.NewCCC(3)
+	tb := routing.UpDownGeneric(c.Network, c.Routers[0][0])
+	r, err := tb.Route(0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, c.Network, c.Routers[0][0], Options{Highlight: r.Channels}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	wellFormed(t, svg)
+	// The highlighted route must appear as thick red strokes, one per
+	// distinct link of the route.
+	if got := strings.Count(svg, `stroke="#d40000"`); got != len(r.Channels) {
+		t.Errorf("highlighted lines = %d, want %d", got, len(r.Channels))
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	n := topology.New("a<b>&c")
+	r0 := n.AddRouter("r<&>", 2)
+	nd := n.AddNode("n<&>")
+	n.ConnectNext(r0, nd)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, n, r0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.String())
+	if strings.Contains(buf.String(), "r<&>") {
+		t.Error("unescaped device name in SVG")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestWeightedRendering(t *testing.T) {
+	f := topology.NewFractahedron(topology.Tetra(1, false))
+	tb := routing.Fractahedron(f)
+	prof, err := contention.Utilization(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make(map[topology.LinkID]float64)
+	for ch, c := range prof.PerChannel {
+		weights[f.ChannelLink(ch)] += float64(c)
+	}
+	var buf bytes.Buffer
+	if err := WriteFractahedronSVG(&buf, f, Options{Weights: weights}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	wellFormed(t, svg)
+	// Heavy links should draw wider than 1px somewhere.
+	if !strings.Contains(svg, `stroke-width="5"`) {
+		t.Error("no heavy link rendered at max width")
+	}
+}
+
+func TestFanoutFractahedronSVG(t *testing.T) {
+	cfg := topology.Tetra(1, false)
+	cfg.Fanout = true
+	f := topology.NewFractahedron(cfg)
+	var buf bytes.Buffer
+	if err := WriteFractahedronSVG(&buf, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.String())
+	if got := strings.Count(buf.String(), "<rect"); got != f.NumRouters() {
+		t.Errorf("rects = %d, want %d (tetra + fan-outs)", got, f.NumRouters())
+	}
+}

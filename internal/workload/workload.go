@@ -1,0 +1,265 @@
+// Package workload generates traffic for the simulator: the synthetic
+// patterns standard in interconnect studies (uniform random, permutations,
+// hotspot), rate-controlled open-loop injection for latency/throughput
+// sweeps, the adversarial transfer sets §3 of the paper constructs by hand
+// for each topology, and the commercial "database query" pattern of §3.0
+// (an arbitrary set of CPUs streaming to an arbitrary set of disk
+// controllers over an extended period).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// UniformRandom emits packets with independently uniform sources and
+// destinations (src != dst), injection times uniform over [0, window).
+func UniformRandom(rng *rand.Rand, nodes, packets, flits, window int) []sim.PacketSpec {
+	specs := make([]sim.PacketSpec, 0, packets)
+	for i := 0; i < packets; i++ {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		cycle := 0
+		if window > 0 {
+			cycle = rng.Intn(window)
+		}
+		specs = append(specs, sim.PacketSpec{Src: src, Dst: dst, Flits: flits, InjectCycle: cycle})
+	}
+	return specs
+}
+
+// Bernoulli emits open-loop traffic: each node starts a packet with
+// probability rate at each cycle in [0, cycles), destinations uniform.
+// rate*flits is the offered load in flits per node per cycle.
+func Bernoulli(rng *rand.Rand, nodes, cycles, flits int, rate float64) []sim.PacketSpec {
+	var specs []sim.PacketSpec
+	for c := 0; c < cycles; c++ {
+		for src := 0; src < nodes; src++ {
+			if rng.Float64() >= rate {
+				continue
+			}
+			dst := rng.Intn(nodes - 1)
+			if dst >= src {
+				dst++
+			}
+			specs = append(specs, sim.PacketSpec{Src: src, Dst: dst, Flits: flits, InjectCycle: c})
+		}
+	}
+	return specs
+}
+
+// Permutation emits one packet per source following the permutation
+// (perm[src] == src entries are skipped), all injected at cycle 0.
+func Permutation(perm []int, flits int) []sim.PacketSpec {
+	var specs []sim.PacketSpec
+	for src, dst := range perm {
+		if src == dst {
+			continue
+		}
+		specs = append(specs, sim.PacketSpec{Src: src, Dst: dst, Flits: flits})
+	}
+	return specs
+}
+
+// BitComplement returns the permutation dst = ^src over nodes (nodes must
+// be a power of two).
+func BitComplement(nodes int) []int {
+	if nodes&(nodes-1) != 0 {
+		panic(fmt.Sprintf("workload: bit complement needs a power of two, got %d", nodes))
+	}
+	perm := make([]int, nodes)
+	for s := range perm {
+		perm[s] = nodes - 1 - s
+	}
+	return perm
+}
+
+// Transpose returns the matrix-transpose permutation over an n*n node grid
+// laid out row-major.
+func Transpose(n int) []int {
+	perm := make([]int, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			perm[r*n+c] = c*n + r
+		}
+	}
+	return perm
+}
+
+// Hotspot emits packets whose destination is the hotspot node with
+// probability hotFrac and uniform otherwise.
+func Hotspot(rng *rand.Rand, nodes, packets, flits, window, hotspot int, hotFrac float64) []sim.PacketSpec {
+	specs := make([]sim.PacketSpec, 0, packets)
+	for i := 0; i < packets; i++ {
+		src := rng.Intn(nodes)
+		var dst int
+		if rng.Float64() < hotFrac && src != hotspot {
+			dst = hotspot
+		} else {
+			dst = rng.Intn(nodes - 1)
+			if dst >= src {
+				dst++
+			}
+		}
+		cycle := 0
+		if window > 0 {
+			cycle = rng.Intn(window)
+		}
+		specs = append(specs, sim.PacketSpec{Src: src, Dst: dst, Flits: flits, InjectCycle: cycle})
+	}
+	return specs
+}
+
+// DatabaseQuery models §3.0's commercial scenario: each of the given CPU
+// nodes streams `transfersEach` packets to disk-controller nodes chosen
+// round-robin, sustained back to back. It is the load-imbalance pattern the
+// contention metric abstracts.
+func DatabaseQuery(cpus, disks []int, transfersEach, flits int) []sim.PacketSpec {
+	var specs []sim.PacketSpec
+	for i, cpu := range cpus {
+		for k := 0; k < transfersEach; k++ {
+			disk := disks[(i+k)%len(disks)]
+			specs = append(specs, sim.PacketSpec{Src: cpu, Dst: disk, Flits: flits})
+		}
+	}
+	return specs
+}
+
+// Transfers builds packet specs from explicit (src, dst) pairs, all
+// injected at cycle 0 — used for the paper's hand-built worst cases.
+func Transfers(pairs [][2]int, flits int) []sim.PacketSpec {
+	specs := make([]sim.PacketSpec, len(pairs))
+	for i, p := range pairs {
+		specs[i] = sim.PacketSpec{Src: p[0], Dst: p[1], Flits: flits}
+	}
+	return specs
+}
+
+// MeshCornerTurn is §3.1's worst case on the 6x6 mesh with two nodes per
+// router: the ten transfers from column A that all turn the corner at A6.
+// Sources are the nodes of routers (0,0)..(0,4); destinations the nodes of
+// routers (5,5) down to (1,5), pairing each source router with a distinct
+// destination router.
+func MeshCornerTurn(cols, rows, nodesPer int) [][2]int {
+	var pairs [][2]int
+	for i := 0; i < rows-1; i++ {
+		srcRouter := i * cols // (0, i), row-major router index
+		dstRouter := (rows-1)*cols + (cols - 1 - i)
+		for j := 0; j < nodesPer; j++ {
+			pairs = append(pairs, [2]int{srcRouter*nodesPer + j, dstRouter*nodesPer + j})
+		}
+	}
+	return pairs
+}
+
+// FatTreeWorstCase is §3.3's scenario on the 64-node 4-2 fat tree: nodes
+// 48..59 sending to nodes 0..11.
+func FatTreeWorstCase() [][2]int {
+	var pairs [][2]int
+	for i := 0; i < 12; i++ {
+		pairs = append(pairs, [2]int{48 + i, i})
+	}
+	return pairs
+}
+
+// FractahedronWorstCase is §3.4's scenario on the 64-node fat fractahedron:
+// nodes 6, 7, 14, 15 sending to 54, 55, 62, 63.
+func FractahedronWorstCase() [][2]int {
+	return [][2]int{{6, 54}, {7, 55}, {14, 62}, {15, 63}}
+}
+
+// RingDeadlockSet is Figure 1's circular-wait workload on a ring of size
+// routers with one node each: every node sends to the node halfway around,
+// so that clockwise routes overlap pairwise all the way around the loop.
+func RingDeadlockSet(size int) [][2]int {
+	var pairs [][2]int
+	for i := 0; i < size; i++ {
+		pairs = append(pairs, [2]int{i, (i + size/2) % size})
+	}
+	return pairs
+}
+
+// BitReversal returns the bit-reversal permutation over nodes (a power of
+// two): destination = source with its address bits reversed — a classic
+// adversarial pattern for dimension-ordered networks.
+func BitReversal(nodes int) []int {
+	if nodes&(nodes-1) != 0 {
+		panic(fmt.Sprintf("workload: bit reversal needs a power of two, got %d", nodes))
+	}
+	bits := 0
+	for 1<<bits < nodes {
+		bits++
+	}
+	perm := make([]int, nodes)
+	for s := range perm {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if s&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		perm[s] = r
+	}
+	return perm
+}
+
+// NearestNeighbor returns the +1 cyclic shift permutation, the friendliest
+// possible pattern for ring-like locality.
+func NearestNeighbor(nodes int) []int {
+	perm := make([]int, nodes)
+	for s := range perm {
+		perm[s] = (s + 1) % nodes
+	}
+	return perm
+}
+
+// Tornado returns the half-way shift permutation dst = src + nodes/2, the
+// worst case for rings and tori.
+func Tornado(nodes int) []int {
+	perm := make([]int, nodes)
+	for s := range perm {
+		perm[s] = (s + nodes/2) % nodes
+	}
+	return perm
+}
+
+// Locality emits packets whose destination falls inside the source's local
+// block (same leaf router group, same tetrahedron — whatever blockSize
+// captures for the topology) with probability localFrac, and uniformly
+// otherwise. §3.3 of the paper anticipates exactly this structure in
+// commercial systems ("each processor in a cluster would typically have a
+// high degree of local access to reach its system disk") and argues it is
+// what makes the bandwidth-thinning 4-2 fat tree acceptable.
+func Locality(rng *rand.Rand, nodes, packets, flits, window, blockSize int, localFrac float64) []sim.PacketSpec {
+	if blockSize < 2 || nodes%blockSize != 0 {
+		panic(fmt.Sprintf("workload: locality block %d does not divide %d nodes", blockSize, nodes))
+	}
+	specs := make([]sim.PacketSpec, 0, packets)
+	for i := 0; i < packets; i++ {
+		src := rng.Intn(nodes)
+		var dst int
+		if rng.Float64() < localFrac {
+			base := src / blockSize * blockSize
+			dst = base + rng.Intn(blockSize-1)
+			if dst >= src {
+				dst++
+			}
+		} else {
+			dst = rng.Intn(nodes - 1)
+			if dst >= src {
+				dst++
+			}
+		}
+		cycle := 0
+		if window > 0 {
+			cycle = rng.Intn(window)
+		}
+		specs = append(specs, sim.PacketSpec{Src: src, Dst: dst, Flits: flits, InjectCycle: cycle})
+	}
+	return specs
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRandomValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		specs := UniformRandom(rng, 16, 50, 4, 100)
+		if len(specs) != 50 {
+			return false
+		}
+		for _, s := range specs {
+			if s.Src == s.Dst || s.Src < 0 || s.Src >= 16 || s.Dst < 0 || s.Dst >= 16 {
+				return false
+			}
+			if s.Flits != 4 || s.InjectCycle < 0 || s.InjectCycle >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := Bernoulli(rng, 10, 1000, 4, 0.1)
+	// Expect about 10*1000*0.1 = 1000 packets; allow wide tolerance.
+	if len(specs) < 800 || len(specs) > 1200 {
+		t.Errorf("packet count = %d, want about 1000", len(specs))
+	}
+	for _, s := range specs {
+		if s.Src == s.Dst {
+			t.Fatal("self-addressed packet")
+		}
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	perm := BitComplement(8)
+	for s, d := range perm {
+		if d != 7-s {
+			t.Errorf("perm[%d] = %d, want %d", s, d, 7-s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two accepted")
+		}
+	}()
+	BitComplement(6)
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	perm := Transpose(4)
+	for s := range perm {
+		if perm[perm[s]] != s {
+			t.Errorf("transpose not an involution at %d", s)
+		}
+	}
+}
+
+func TestPermutationSkipsFixedPoints(t *testing.T) {
+	specs := Permutation([]int{1, 0, 2}, 3)
+	if len(specs) != 2 {
+		t.Errorf("specs = %d, want 2 (fixed point skipped)", len(specs))
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specs := Hotspot(rng, 16, 2000, 4, 0, 5, 0.5)
+	hot := 0
+	for _, s := range specs {
+		if s.Dst == 5 {
+			hot++
+		}
+	}
+	if hot < 800 { // >= ~50% plus uniform share
+		t.Errorf("hotspot received %d of 2000, want at least 800", hot)
+	}
+}
+
+func TestDatabaseQueryShape(t *testing.T) {
+	specs := DatabaseQuery([]int{0, 1, 2, 3}, []int{60, 61, 62, 63}, 5, 8)
+	if len(specs) != 20 {
+		t.Fatalf("specs = %d, want 20", len(specs))
+	}
+	for _, s := range specs {
+		if s.Src > 3 || s.Dst < 60 {
+			t.Errorf("bad transfer %d->%d", s.Src, s.Dst)
+		}
+	}
+}
+
+func TestPaperScenarioSets(t *testing.T) {
+	if got := len(MeshCornerTurn(6, 6, 2)); got != 10 {
+		t.Errorf("mesh corner set = %d transfers, want 10 (paper §3.1)", got)
+	}
+	if got := len(FatTreeWorstCase()); got != 12 {
+		t.Errorf("fat tree set = %d, want 12 (paper §3.3)", got)
+	}
+	if got := len(FractahedronWorstCase()); got != 4 {
+		t.Errorf("fractahedron set = %d, want 4 (paper §3.4)", got)
+	}
+	if got := len(RingDeadlockSet(4)); got != 4 {
+		t.Errorf("ring set = %d, want 4 (Figure 1)", got)
+	}
+	// Distinct sources and destinations in each paper set.
+	for _, set := range [][][2]int{MeshCornerTurn(6, 6, 2), FatTreeWorstCase(), FractahedronWorstCase()} {
+		srcs, dsts := map[int]bool{}, map[int]bool{}
+		for _, p := range set {
+			if srcs[p[0]] || dsts[p[1]] {
+				t.Errorf("set %v reuses a node", set)
+				break
+			}
+			srcs[p[0]], dsts[p[1]] = true, true
+		}
+	}
+}
+
+func TestBitReversalInvolution(t *testing.T) {
+	perm := BitReversal(16)
+	for s, d := range perm {
+		if perm[d] != s {
+			t.Errorf("bit reversal not an involution at %d", s)
+		}
+	}
+	if perm[1] != 8 || perm[3] != 12 {
+		t.Errorf("perm[1]=%d perm[3]=%d, want 8, 12", perm[1], perm[3])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two accepted")
+		}
+	}()
+	BitReversal(12)
+}
+
+func TestNearestNeighborAndTornado(t *testing.T) {
+	nn := NearestNeighbor(8)
+	tor := Tornado(8)
+	for s := 0; s < 8; s++ {
+		if nn[s] != (s+1)%8 {
+			t.Errorf("nn[%d] = %d", s, nn[s])
+		}
+		if tor[s] != (s+4)%8 {
+			t.Errorf("tornado[%d] = %d", s, tor[s])
+		}
+	}
+}
+
+func TestLocalityPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	specs := Locality(rng, 64, 4000, 4, 100, 8, 0.75)
+	local := 0
+	for _, s := range specs {
+		if s.Src == s.Dst {
+			t.Fatal("self-addressed packet")
+		}
+		if s.Src/8 == s.Dst/8 {
+			local++
+		}
+	}
+	// About 75% local plus the uniform share that lands locally by chance.
+	frac := float64(local) / float64(len(specs))
+	if frac < 0.70 || frac > 0.85 {
+		t.Errorf("local fraction = %.2f, want about 0.77", frac)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad block size accepted")
+		}
+	}()
+	Locality(rng, 64, 1, 4, 0, 7, 0.5)
+}
