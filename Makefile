@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test check race bench sweep-bench golden clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector (the parallel experiment engine must be race-clean).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# sweep-bench times the same sweep grid with 1 and 4 workers; rows are
+# bit-identical, only wall clock differs (needs >1 CPU to show a speedup).
+sweep-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimSweepWorkers' -benchtime 5x .
+
+# golden regenerates the committed experiment fixtures; review the diff.
+golden:
+	$(GO) test ./internal/experiments -run Golden -update
+
+clean:
+	$(GO) clean ./...

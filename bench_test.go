@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/servernet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -157,6 +158,27 @@ func BenchmarkSimulationSweep(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSimSweepWorkers times the same four-rate sweep grid at a fixed
+// worker-pool size; the Workers1/Workers4 pair demonstrates the engine's
+// parallel speedup on identical (bit-for-bit) rows.
+func benchmarkSimSweepWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SimSweep([]float64{0.002, 0.005, 0.01, 0.02}, 600, 8, 1,
+			runner.Workers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Deadlocked {
+				b.Fatalf("%s deadlocked", r.Topology)
+			}
+		}
+	}
+}
+
+func BenchmarkSimSweepWorkers1(b *testing.B) { benchmarkSimSweepWorkers(b, 1) }
+func BenchmarkSimSweepWorkers4(b *testing.B) { benchmarkSimSweepWorkers(b, 4) }
 
 // BenchmarkDatabaseScenario runs the §3.0 adversarial streaming comparison.
 func BenchmarkDatabaseScenario(b *testing.B) {

@@ -8,6 +8,13 @@
 //	netsim -spec ring:size=4,unsafe -pattern ringdeadlock -flits 32
 //	netsim -spec fattree:d=4,u=2,nodes=64 -pattern bernoulli -rate 0.02 -cycles 5000
 //	netsim -spec fat-fract:levels=2 -pattern db
+//	netsim -spec fat-fract:levels=2 -pattern bernoulli -rate 0.02 -runs 8 -workers 4
+//
+// With -runs N > 1 the same configuration executes N times over a worker
+// pool, run i drawing its workload from the seed derived from (-seed, i);
+// results are printed in run order and are identical for any -workers
+// value. Patterns without randomness (bitcomp, ringdeadlock, db) repeat
+// the same run N times.
 package main
 
 import (
@@ -15,8 +22,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -34,6 +43,8 @@ func main() {
 	timeout := flag.Int("timeout", 0, "enable timeout/discard/retry recovery after this many stalled cycles")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	unrestricted := flag.Bool("unrestricted", false, "disable path-disable enforcement")
+	runs := flag.Int("runs", 1, "independent runs; run i derives its seed from (-seed, i)")
+	workers := flag.Int("workers", 0, "worker-pool size for -runs fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sys, name, err := core.ParseSystem(*spec)
@@ -41,44 +52,106 @@ func main() {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
 	}
-	rng := rand.New(rand.NewSource(*seed))
 	n := sys.Net.NumNodes()
 
-	var specs []sim.PacketSpec
-	switch *pattern {
-	case "uniform":
-		specs = workload.UniformRandom(rng, n, *packets, *flits, *cycles)
-	case "bernoulli":
-		specs = workload.Bernoulli(rng, n, *cycles, *flits, *rate)
-	case "bitcomp":
-		specs = workload.Permutation(workload.BitComplement(n), *flits)
-	case "hotspot":
-		specs = workload.Hotspot(rng, n, *packets, *flits, *cycles, 0, 0.3)
-	case "db":
-		cpus := []int{0, 1, 2, 3}
-		disks := []int{n - 4, n - 3, n - 2, n - 1}
-		specs = workload.DatabaseQuery(cpus, disks, *packets/4, *flits)
-	case "ringdeadlock":
-		specs = workload.Transfers(workload.RingDeadlockSet(n), *flits)
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: unknown pattern %q\n", *pattern)
-		os.Exit(2)
+	buildSpecs := func(rng *rand.Rand) ([]sim.PacketSpec, error) {
+		switch *pattern {
+		case "uniform":
+			return workload.UniformRandom(rng, n, *packets, *flits, *cycles), nil
+		case "bernoulli":
+			return workload.Bernoulli(rng, n, *cycles, *flits, *rate), nil
+		case "bitcomp":
+			return workload.Permutation(workload.BitComplement(n), *flits), nil
+		case "hotspot":
+			return workload.Hotspot(rng, n, *packets, *flits, *cycles, 0, 0.3), nil
+		case "db":
+			cpus := []int{0, 1, 2, 3}
+			disks := []int{n - 4, n - 3, n - 2, n - 1}
+			return workload.DatabaseQuery(cpus, disks, *packets/4, *flits), nil
+		case "ringdeadlock":
+			return workload.Transfers(workload.RingDeadlockSet(n), *flits), nil
+		default:
+			return nil, fmt.Errorf("unknown pattern %q", *pattern)
+		}
 	}
 
 	cfg := sim.Config{FIFODepth: *fifo, VirtualChannels: *vcs, LinkLatency: *linkLat, TimeoutCycles: *timeout, DeadlockThreshold: 2000}
-	var res sim.Result
-	if *unrestricted {
-		res, err = sys.SimulateUnrestricted(specs, cfg)
-	} else {
-		res, err = sys.Simulate(specs, cfg)
+	simulate := func(specs []sim.PacketSpec) (sim.Result, error) {
+		if *unrestricted {
+			return sys.SimulateUnrestricted(specs, cfg)
+		}
+		return sys.Simulate(specs, cfg)
 	}
+
+	if *runs <= 1 {
+		specs, err := buildSpecs(rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := simulate(specs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s, pattern=%s, %d packets x %d flits, FIFO depth %d\n",
+			name, *pattern, len(specs), *flits, *fifo)
+		report(sys, res)
+		return
+	}
+
+	type run struct {
+		specs int
+		res   sim.Result
+	}
+	stats := runner.NewStats()
+	results, err := runner.Map(runner.Config{Workers: *workers, Stats: stats},
+		*runs, func(i int) (run, error) {
+			specs, err := buildSpecs(runner.RNG(*seed, i))
+			if err != nil {
+				return run{}, err
+			}
+			start := time.Now()
+			res, err := simulate(specs)
+			if err != nil {
+				return run{}, err
+			}
+			stats.Record(runner.Stat{
+				Label:     fmt.Sprintf("run %d", i),
+				Cycles:    res.Cycles,
+				FlitMoves: res.FlitMoves(),
+				Wall:      time.Since(start),
+			})
+			return run{specs: len(specs), res: res}, nil
+		})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s, pattern=%s, %d packets x %d flits, FIFO depth %d\n",
-		name, *pattern, len(specs), *flits, *fifo)
+	fmt.Printf("%s, pattern=%s, %d runs x %d flits/packet, FIFO depth %d\n",
+		name, *pattern, *runs, *flits, *fifo)
+	deadlocked := false
+	var cyc, delivered int
+	var tput float64
+	for i, r := range results {
+		fmt.Printf("  run %2d: cycles=%6d delivered=%5d dropped=%3d latency avg=%6.1f throughput=%.3f deadlocked=%v\n",
+			i, r.res.Cycles, r.res.Delivered, r.res.Dropped, r.res.AvgLatency, r.res.ThroughputFPC, r.res.Deadlocked)
+		cyc += r.res.Cycles
+		delivered += r.res.Delivered
+		tput += r.res.ThroughputFPC
+		deadlocked = deadlocked || r.res.Deadlocked
+	}
+	fmt.Printf("  mean: cycles=%.0f delivered=%.0f throughput=%.3f\n",
+		float64(cyc)/float64(len(results)), float64(delivered)/float64(len(results)), tput/float64(len(results)))
+	fmt.Fprintln(os.Stderr, stats)
+	if deadlocked {
+		os.Exit(3)
+	}
+}
+
+// report prints the single-run result in the traditional format.
+func report(sys *core.System, res sim.Result) {
 	fmt.Printf("  cycles=%d delivered=%d dropped=%d deadlocked=%v\n",
 		res.Cycles, res.Delivered, res.Dropped, res.Deadlocked)
 	if res.Delivered > 0 {

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -24,7 +25,11 @@ func main() {
 	levels := flag.Int("levels", 3, "maximum fractahedron depth for Table 1 / Figure 5")
 	quick := flag.Bool("quick", false, "reduce sizes for a fast smoke run")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
+	workers := flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
+
+	stats := runner.NewStats()
+	opts := []runner.Option{runner.Workers(*workers), runner.WithStats(stats)}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -53,21 +58,21 @@ func main() {
 				rates = []float64{0.002, 0.02}
 				cycles = 500
 			}
-			return experiments.SimSweep(rates, cycles, 8, 1)
+			return experiments.SimSweep(rates, cycles, 8, 1, opts...)
 		},
 		"locality": func() (any, error) {
 			packets := 1500
 			if *quick {
 				packets = 400
 			}
-			return experiments.LocalitySweep([]float64{0, 0.3, 0.6, 0.9}, packets, 8, 1)
+			return experiments.LocalitySweep([]float64{0, 0.3, 0.6, 0.9}, packets, 8, 1, opts...)
 		},
 		"saturation": func() (any, error) {
 			cycles := 1200
 			if *quick {
 				cycles = 400
 			}
-			return experiments.Saturation(cycles, 8, 1)
+			return experiments.Saturation(cycles, 8, 1, opts...)
 		},
 		"large": func() (any, error) {
 			rates := []float64{0.002, 0.01, 0.03}
@@ -76,9 +81,9 @@ func main() {
 				rates = []float64{0.005}
 				cycles = 300
 			}
-			return experiments.LargeSim(rates, cycles, 8, 1)
+			return experiments.LargeSim(rates, cycles, 8, 1, opts...)
 		},
-		"permutations": func() (any, error) { return experiments.PermutationStudy(8) },
+		"permutations": func() (any, error) { return experiments.PermutationStudy(8, opts...) },
 	}
 
 	exps := []experiment{
@@ -153,11 +158,11 @@ func main() {
 			if *quick {
 				packets = 400
 			}
-			rows, err := experiments.LocalitySweep([]float64{0, 0.3, 0.6, 0.9}, packets, 8, 1)
+			rows, err := experiments.LocalitySweep([]float64{0, 0.3, 0.6, 0.9}, packets, 8, 1, opts...)
 			return str(experiments.LocalitySweepString(rows)), err
 		}},
 		{"permutations", func() (fmt.Stringer, error) {
-			rows, err := experiments.PermutationStudy(8)
+			rows, err := experiments.PermutationStudy(8, opts...)
 			return str(experiments.PermutationStudyString(rows)), err
 		}},
 		{"saturation", func() (fmt.Stringer, error) {
@@ -165,11 +170,11 @@ func main() {
 			if *quick {
 				cycles = 400
 			}
-			rows, err := experiments.Saturation(cycles, 8, 1)
+			rows, err := experiments.Saturation(cycles, 8, 1, opts...)
 			return str(experiments.SaturationString(rows)), err
 		}},
 		{"failover", func() (fmt.Stringer, error) {
-			r, err := experiments.FailoverSim(400, 8, 60, 2)
+			r, err := experiments.FailoverSim(400, 8, 60, 2, opts...)
 			return r, err
 		}},
 		{"large", func() (fmt.Stringer, error) {
@@ -179,7 +184,7 @@ func main() {
 				rates = []float64{0.005}
 				cycles = 300
 			}
-			rows, err := experiments.LargeSim(rates, cycles, 8, 1)
+			rows, err := experiments.LargeSim(rates, cycles, 8, 1, opts...)
 			return str(experiments.LargeSimString(rows)), err
 		}},
 		{"sweep", func() (fmt.Stringer, error) {
@@ -189,7 +194,7 @@ func main() {
 				rates = []float64{0.002, 0.02}
 				cycles = 500
 			}
-			rows, err := experiments.SimSweep(rates, cycles, 8, 1)
+			rows, err := experiments.SimSweep(rates, cycles, 8, 1, opts...)
 			return str(experiments.SimSweepString(rows)), err
 		}},
 		{"db", func() (fmt.Stringer, error) {
@@ -197,27 +202,27 @@ func main() {
 			if *quick {
 				n = 4
 			}
-			rows, err := experiments.DatabaseScenario(n, 16)
+			rows, err := experiments.DatabaseScenario(n, 16, opts...)
 			return str(experiments.DatabaseScenarioString(rows)), err
 		}},
 		{"ablations", func() (fmt.Stringer, error) {
 			out := ""
-			fifo, err := experiments.AblationFIFODepth([]int{1, 2, 4, 8, 16}, 300, 8, 1)
+			fifo, err := experiments.AblationFIFODepth([]int{1, 2, 4, 8, 16}, 300, 8, 1, opts...)
 			if err != nil {
 				return nil, err
 			}
 			out += experiments.AblationFIFOString(fifo)
-			radix, err := experiments.AblationRadix([]int{3, 4, 5})
+			radix, err := experiments.AblationRadix([]int{3, 4, 5}, opts...)
 			if err != nil {
 				return nil, err
 			}
 			out += "\n" + experiments.AblationRadixString(radix)
-			parts, err := experiments.AblationFatTreePartitions()
+			parts, err := experiments.AblationFatTreePartitions(opts...)
 			if err != nil {
 				return nil, err
 			}
 			out += "\n" + experiments.AblationPartitionsString(parts)
-			cable, err := experiments.AblationCableLength([]int{1, 2, 4}, 300, 8, 1)
+			cable, err := experiments.AblationCableLength([]int{1, 2, 4}, 300, 8, 1, opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -270,6 +275,9 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "paper: unknown experiment %q\n", *only)
 		os.Exit(2)
+	}
+	if stats.Summary().Runs > 0 {
+		fmt.Fprintln(os.Stderr, stats)
 	}
 }
 

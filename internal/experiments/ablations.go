@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -26,25 +26,27 @@ type FIFORow struct {
 // §2 (Dally–Seitz virtual channels "require multiple packet buffers at each
 // router stage... buffering space may dominate the area of a typical
 // router") quantified: how much does depth actually buy?
-func AblationFIFODepth(depths []int, packets, flits int, seed int64) ([]FIFORow, error) {
+func AblationFIFODepth(depths []int, packets, flits int, seed int64, opts ...runner.Option) ([]FIFORow, error) {
+	cfg := runner.NewConfig(opts...)
 	sys, _, err := core.NewFatFractahedron(2)
 	if err != nil {
 		return nil, err
 	}
-	var rows []FIFORow
-	for _, d := range depths {
-		rng := rand.New(rand.NewSource(seed))
+	// Every depth point replays the SAME workload — buffer depth is the
+	// controlled variable — so all points share workload index 0.
+	return runner.Map(cfg, len(depths), func(i int) (FIFORow, error) {
+		d := depths[i]
+		rng := runner.RNG(seed, 0)
 		specs := workload.UniformRandom(rng, 64, packets, flits, packets/2)
-		res, err := sys.Simulate(specs, sim.Config{FIFODepth: d})
+		res, err := observe(cfg, fmt.Sprintf("ablation fifo=%d", d), sys, specs, sim.Config{FIFODepth: d})
 		if err != nil {
-			return nil, err
+			return FIFORow{}, err
 		}
 		if res.Deadlocked || res.Delivered != packets {
-			return nil, fmt.Errorf("experiments: FIFO sweep depth %d failed: %+v", d, res)
+			return FIFORow{}, fmt.Errorf("experiments: FIFO sweep depth %d failed: %+v", d, res)
 		}
-		rows = append(rows, FIFORow{Depth: d, Cycles: res.Cycles, AvgLatency: res.AvgLatency, Throughput: res.ThroughputFPC})
-	}
-	return rows, nil
+		return FIFORow{Depth: d, Cycles: res.Cycles, AvgLatency: res.AvgLatency, Throughput: res.ThroughputFPC}, nil
+	})
 }
 
 // AblationFIFOString renders the FIFO sweep.
@@ -73,20 +75,21 @@ type RadixRow struct {
 }
 
 // AblationRadix builds fat fractahedrons from ensembles of different sizes
-// and compares their figures of merit at two levels.
-func AblationRadix(groups []int) ([]RadixRow, error) {
-	var rows []RadixRow
-	for _, g := range groups {
+// and compares their figures of merit at two levels, one group size per
+// worker (the contention matching dominates each point).
+func AblationRadix(groups []int, opts ...runner.Option) ([]RadixRow, error) {
+	return runner.Map(runner.NewConfig(opts...), len(groups), func(i int) (RadixRow, error) {
+		g := groups[i]
 		cfg := topology.FractConfig{Group: g, Down: 2, Levels: 2, Fat: true}
 		sys, f, err := core.NewFractahedron(cfg)
 		if err != nil {
-			return nil, err
+			return RadixRow{}, err
 		}
 		a, err := sys.Analyze(core.AnalyzeOptions{SkipBisection: true})
 		if err != nil {
-			return nil, err
+			return RadixRow{}, err
 		}
-		rows = append(rows, RadixRow{
+		return RadixRow{
 			Group:        g,
 			Down:         cfg.Down,
 			RouterPorts:  cfg.RouterPorts(),
@@ -95,9 +98,8 @@ func AblationRadix(groups []int) ([]RadixRow, error) {
 			MaxHops:      a.Hops.Max,
 			Contention:   a.Contention.Max,
 			DeadlockFree: a.Deadlock.Free,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationRadixString renders the radix generalization table.
@@ -124,30 +126,33 @@ type CableRow struct {
 // "up to 30 meters" cables) on the 64-node fat fractahedron under a fixed
 // moderate load: latency grows linearly with cable length while delivered
 // throughput holds, because the wormhole pipeline keeps the wires full.
-func AblationCableLength(latencies []int, packets, flits int, seed int64) ([]CableRow, error) {
+func AblationCableLength(latencies []int, packets, flits int, seed int64, opts ...runner.Option) ([]CableRow, error) {
+	cfg := runner.NewConfig(opts...)
 	sys, _, err := core.NewFatFractahedron(2)
 	if err != nil {
 		return nil, err
 	}
-	var rows []CableRow
-	for _, lat := range latencies {
-		rng := rand.New(rand.NewSource(seed))
+	// Like the FIFO sweep, the workload is held fixed (index 0) while the
+	// link latency varies.
+	return runner.Map(cfg, len(latencies), func(i int) (CableRow, error) {
+		lat := latencies[i]
+		rng := runner.RNG(seed, 0)
 		specs := workload.UniformRandom(rng, 64, packets, flits, packets)
-		res, err := sys.Simulate(specs, sim.Config{FIFODepth: 8, LinkLatency: lat})
+		res, err := observe(cfg, fmt.Sprintf("ablation cable=%d", lat), sys, specs,
+			sim.Config{FIFODepth: 8, LinkLatency: lat})
 		if err != nil {
-			return nil, err
+			return CableRow{}, err
 		}
 		if res.Deadlocked || res.Delivered != packets {
-			return nil, fmt.Errorf("experiments: cable sweep latency %d failed: %+v", lat, res)
+			return CableRow{}, fmt.Errorf("experiments: cable sweep latency %d failed: %+v", lat, res)
 		}
-		rows = append(rows, CableRow{
+		return CableRow{
 			LinkLatency: lat,
 			AvgLatency:  res.AvgLatency,
 			P99Latency:  res.P99Latency,
 			Throughput:  res.ThroughputFPC,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationCableString renders the cable-length sweep.
@@ -170,8 +175,9 @@ type PartitionRow struct {
 }
 
 // AblationFatTreePartitions measures worst-case contention for several
-// distinct static up-path partitions of the 64-node 4-2 fat tree.
-func AblationFatTreePartitions() ([]PartitionRow, error) {
+// distinct static up-path partitions of the 64-node 4-2 fat tree, one
+// partition's matching per worker.
+func AblationFatTreePartitions(opts ...runner.Option) ([]PartitionRow, error) {
 	ft := topology.NewFatTree(4, 2, 64)
 	tables := []struct {
 		name string
@@ -182,15 +188,13 @@ func AblationFatTreePartitions() ([]PartitionRow, error) {
 		{"dst digit rotated 2", routing.FatTreeShifted(ft, 2)},
 		{"striped leaf blocks", routing.FatTreeCompact(ft)},
 	}
-	var rows []PartitionRow
-	for _, p := range tables {
-		res, err := contention.MaxLinkContention(p.tb)
+	return runner.Map(runner.NewConfig(opts...), len(tables), func(i int) (PartitionRow, error) {
+		res, err := contention.MaxLinkContention(tables[i].tb)
 		if err != nil {
-			return nil, err
+			return PartitionRow{}, err
 		}
-		rows = append(rows, PartitionRow{Name: p.name, Contention: res.Max})
-	}
-	return rows, nil
+		return PartitionRow{Name: tables[i].name, Contention: res.Max}, nil
+	})
 }
 
 // AblationPartitionsString renders the partition comparison.

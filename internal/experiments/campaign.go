@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// observe runs one simulation point through a system and records its cost
+// (cycles simulated, flit moves, wall time) in the campaign stats, if any.
+// Experiments route every worker-pool simulation through this helper so
+// cmd/paper can print a campaign summary.
+func observe(cfg runner.Config, label string, sys *core.System, specs []sim.PacketSpec, sc sim.Config) (sim.Result, error) {
+	start := time.Now()
+	res, err := sys.Simulate(specs, sc)
+	if err != nil {
+		return res, err
+	}
+	cfg.Stats.Record(runner.Stat{
+		Label:     label,
+		Cycles:    res.Cycles,
+		FlitMoves: res.FlitMoves(),
+		Wall:      time.Since(start),
+	})
+	return res, nil
+}

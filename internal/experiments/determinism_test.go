@@ -1,0 +1,208 @@
+package experiments
+
+// The archetype headline tests: the parallel experiment engine must return
+// bit-identical rows for every worker count (the (seed, point index)
+// seeding contract), and the parallel SimSweep must reproduce a plain
+// sequential reference implementation exactly — both live here so any
+// change to the seeding contract or the merge order fails loudly.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// sweepGrid is the shared small grid: cheap enough for -race, rich enough
+// to exercise multiple rates and all three topologies.
+var sweepGrid = struct {
+	rates  []float64
+	cycles int
+	flits  int
+	seed   int64
+}{[]float64{0.002, 0.02}, 400, 8, 1}
+
+// TestSimSweepDeterminism runs the same sweep with 1, 4 and GOMAXPROCS
+// workers and requires deeply equal rows — pinning that results depend
+// only on (seed, point index), never on scheduling.
+func TestSimSweepDeterminism(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var want []SweepRow
+	for _, w := range counts {
+		rows, err := SimSweep(sweepGrid.rates, sweepGrid.cycles, sweepGrid.flits, sweepGrid.seed,
+			runner.Workers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("workers=%d produced different rows:\n got %+v\nwant %+v", w, rows, want)
+		}
+	}
+}
+
+// TestSaturationDeterminism pins the same property for the adaptive knee
+// search, whose probe ladder runs inside each worker.
+func TestSaturationDeterminism(t *testing.T) {
+	var want []SaturationRow
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		rows, err := Saturation(300, 8, 1, runner.Workers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", w, rows, want)
+		}
+	}
+}
+
+// TestLargeSimDeterminism covers the 512-node points (the heaviest runs,
+// and the ones most likely to expose a shared-state race under -race).
+func TestLargeSimDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-node simulation")
+	}
+	var want []LargeSimRow
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		rows, err := LargeSim([]float64{0.004}, 200, 8, 3, runner.Workers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("workers=%d diverged", w)
+		}
+	}
+}
+
+// simSweepSequentialRef is a plain nested-loop reference implementation of
+// SimSweep — no runner, no goroutines — enforcing the same seeding
+// contract (workload from (seed, rate index)). The parallel path must
+// reproduce it bit for bit.
+func simSweepSequentialRef(rates []float64, warmCycles, flits int, seed int64) ([]SweepRow, error) {
+	ftSys, _, err := core.NewFatTree(4, 2, 64)
+	if err != nil {
+		return nil, err
+	}
+	frSys, _, err := core.NewFatFractahedron(2)
+	if err != nil {
+		return nil, err
+	}
+	thinSys, _, err := core.NewThinFractahedron(2)
+	if err != nil {
+		return nil, err
+	}
+	systems := []struct {
+		name string
+		sys  *core.System
+	}{{"4-2 fat tree", ftSys}, {"fat fractahedron", frSys}, {"thin fractahedron", thinSys}}
+
+	var rows []SweepRow
+	for ri, rate := range rates {
+		for _, s := range systems {
+			rng := runner.RNG(seed, ri)
+			specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), warmCycles, flits, rate)
+			res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SweepRow{
+				Topology:   s.name,
+				Rate:       rate,
+				Offered:    rate * float64(flits),
+				Delivered:  res.Delivered,
+				AvgLatency: res.AvgLatency,
+				Throughput: res.ThroughputFPC,
+				Deadlocked: res.Deadlocked,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TestSimSweepMatchesSequential is the equivalence test: parallel engine
+// output == sequential reference, element for element.
+func TestSimSweepMatchesSequential(t *testing.T) {
+	want, err := simSweepSequentialRef(sweepGrid.rates, sweepGrid.cycles, sweepGrid.flits, sweepGrid.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimSweep(sweepGrid.rates, sweepGrid.cycles, sweepGrid.flits, sweepGrid.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel sweep diverged from sequential reference:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSimSweepGolden pins the sweep rows to a committed fixture, so the
+// seeding contract cannot drift silently across refactors. Regenerate with
+// `go test ./internal/experiments -run Golden -update` and review the diff.
+func TestSimSweepGolden(t *testing.T) {
+	rows, err := SimSweep(sweepGrid.rates, sweepGrid.cycles, sweepGrid.flits, sweepGrid.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "simsweep.golden.json")
+	if *update {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	var want []SweepRow
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("sweep rows diverged from golden fixture:\n got %+v\nwant %+v", rows, want)
+	}
+}
+
+// TestCampaignStats checks runs are recorded once per point with real
+// cycle counts when a Stats accumulator rides along.
+func TestCampaignStats(t *testing.T) {
+	st := runner.NewStats()
+	rows, err := SimSweep([]float64{0.005}, 200, 8, 1, runner.Workers(2), runner.WithStats(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := st.Summary()
+	if sum.Runs != len(rows) {
+		t.Fatalf("recorded %d runs for %d points", sum.Runs, len(rows))
+	}
+	if sum.Cycles == 0 || sum.FlitMoves == 0 {
+		t.Fatalf("empty cost accounting: %+v", sum)
+	}
+	if sum.SimWall <= 0 {
+		t.Fatalf("no simulation time accounted: %+v", sum)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -31,7 +33,14 @@ type FailoverResult struct {
 // fat-fractahedron pair, kills a heavily used inter-router link mid-run,
 // and re-issues every killed transfer over the Y fabric — the software
 // failover ServerNet's dual fabrics enable. No transfer is lost.
-func FailoverSim(packets, flits, faultCycle int, seed int64) (FailoverResult, error) {
+//
+// The Y run consumes the X run's drop list, so the two fabrics are
+// inherently sequential; the experiment still joins the campaign for cost
+// accounting. The single rng feeds only the workload generator (victim
+// selection is a deterministic argmax over route counts), so the run is
+// reproducible from the seed alone.
+func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Option) (FailoverResult, error) {
+	cfg := runner.NewConfig(opts...)
 	res := FailoverResult{Packets: packets, FaultCycle: faultCycle}
 
 	dual, err := fabric.NewDual(func() (*topology.Network, *routing.Tables) {
@@ -81,7 +90,10 @@ func FailoverSim(packets, flits, faultCycle int, seed int64) (FailoverResult, er
 	if err := simX.AddBatch(tbX, specs); err != nil {
 		return res, err
 	}
+	startX := time.Now()
 	resX := simX.Run()
+	cfg.Stats.Record(runner.Stat{Label: "failover fabric X", Cycles: resX.Cycles,
+		FlitMoves: resX.FlitMoves(), Wall: time.Since(startX)})
 	res.DeliveredX = resX.Delivered
 	res.Dropped = resX.Dropped
 	res.XDeadlocked = resX.Deadlocked
@@ -92,7 +104,10 @@ func FailoverSim(packets, flits, faultCycle int, seed int64) (FailoverResult, er
 		if err := simY.AddBatch(tbY, failedOver); err != nil {
 			return res, err
 		}
+		startY := time.Now()
 		resY := simY.Run()
+		cfg.Stats.Record(runner.Stat{Label: "failover fabric Y", Cycles: resY.Cycles,
+			FlitMoves: resY.FlitMoves(), Wall: time.Since(startY)})
 		res.DeliveredY = resY.Delivered
 		res.YDeadlocked = resY.Deadlocked
 	}

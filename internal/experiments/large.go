@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -26,8 +26,12 @@ type LargeSimRow struct {
 // simulation of LARGE fractahedral topologies under load. It runs open-loop
 // Bernoulli traffic over the 512-node thin and fat N=3 fractahedrons and
 // reports the latency/throughput points; the thin variant's 4-link
-// bisection saturates it far below the fat variant's 64.
-func LargeSim(rates []float64, cycles, flits int, seed int64) ([]LargeSimRow, error) {
+// bisection saturates it far below the fat variant's 64. These are the
+// slowest points in the suite, so they gain the most from the worker pool;
+// per-rate workload seeds keep both variants under the same packet stream
+// at each rate (the test asserts equal delivery counts).
+func LargeSim(rates []float64, cycles, flits int, seed int64, opts ...runner.Option) ([]LargeSimRow, error) {
+	cfg := runner.NewConfig(opts...)
 	fat, fatF, err := core.NewFatFractahedron(3)
 	if err != nil {
 		return nil, err
@@ -45,28 +49,26 @@ func LargeSim(rates []float64, cycles, flits int, seed int64) ([]LargeSimRow, er
 		{"thin fractahedron N=3", thin, thinF.NumRouters()},
 	}
 
-	var rows []LargeSimRow
-	for _, rate := range rates {
-		for _, s := range systems {
-			rng := rand.New(rand.NewSource(seed))
-			specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), cycles, flits, rate)
-			res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4, MaxCycles: 60 * cycles})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, LargeSimRow{
-				Topology:   s.name,
-				Nodes:      s.sys.Net.NumNodes(),
-				Routers:    s.routers,
-				Rate:       rate,
-				Delivered:  res.Delivered,
-				AvgLatency: res.AvgLatency,
-				Throughput: res.ThroughputFPC,
-				Deadlocked: res.Deadlocked,
-			})
+	return runner.Map(cfg, len(rates)*len(systems), func(i int) (LargeSimRow, error) {
+		rate, s := rates[i/len(systems)], systems[i%len(systems)]
+		rng := runner.RNG(seed, i/len(systems))
+		specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), cycles, flits, rate)
+		res, err := observe(cfg, fmt.Sprintf("large %s rate=%.3f", s.name, rate),
+			s.sys, specs, sim.Config{FIFODepth: 4, MaxCycles: 60 * cycles})
+		if err != nil {
+			return LargeSimRow{}, err
 		}
-	}
-	return rows, nil
+		return LargeSimRow{
+			Topology:   s.name,
+			Nodes:      s.sys.Net.NumNodes(),
+			Routers:    s.routers,
+			Rate:       rate,
+			Delivered:  res.Delivered,
+			AvgLatency: res.AvgLatency,
+			Throughput: res.ThroughputFPC,
+			Deadlocked: res.Deadlocked,
+		}, nil
+	})
 }
 
 // LargeSimString renders the 512-node simulation points.

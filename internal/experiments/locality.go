@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -28,7 +28,8 @@ type LocalityRow struct {
 // tree, a tetrahedron on the fractahedron). As locality rises, the thinned
 // upper levels matter less and every topology converges; under low
 // locality the bandwidth-rich fractahedron leads.
-func LocalitySweep(fracs []float64, packets, flits int, seed int64) ([]LocalityRow, error) {
+func LocalitySweep(fracs []float64, packets, flits int, seed int64, opts ...runner.Option) ([]LocalityRow, error) {
+	cfg := runner.NewConfig(opts...)
 	ftSys, _, err := core.NewFatTree(4, 2, 64)
 	if err != nil {
 		return nil, err
@@ -50,27 +51,28 @@ func LocalitySweep(fracs []float64, packets, flits int, seed int64) ([]LocalityR
 		{"fat fractahedron", fatSys},
 	}
 
-	var rows []LocalityRow
-	for _, frac := range fracs {
-		for _, s := range systems {
-			rng := rand.New(rand.NewSource(seed))
-			specs := workload.Locality(rng, 64, packets, flits, packets/3, 8, frac)
-			res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4})
-			if err != nil {
-				return nil, err
-			}
-			if res.Deadlocked || res.Delivered != packets {
-				return nil, fmt.Errorf("experiments: locality %.2f on %s failed: %+v", frac, s.name, res)
-			}
-			rows = append(rows, LocalityRow{
-				LocalFrac:  frac,
-				Topology:   s.name,
-				AvgLatency: res.AvgLatency,
-				Throughput: res.ThroughputFPC,
-			})
+	// Per-fraction workload seeds: every topology sees the same packet
+	// stream at a given locality fraction, distinct fractions draw
+	// independent streams.
+	return runner.Map(cfg, len(fracs)*len(systems), func(i int) (LocalityRow, error) {
+		frac, s := fracs[i/len(systems)], systems[i%len(systems)]
+		rng := runner.RNG(seed, i/len(systems))
+		specs := workload.Locality(rng, 64, packets, flits, packets/3, 8, frac)
+		res, err := observe(cfg, fmt.Sprintf("locality %s frac=%.2f", s.name, frac),
+			s.sys, specs, sim.Config{FIFODepth: 4})
+		if err != nil {
+			return LocalityRow{}, err
 		}
-	}
-	return rows, nil
+		if res.Deadlocked || res.Delivered != packets {
+			return LocalityRow{}, fmt.Errorf("experiments: locality %.2f on %s failed: %+v", frac, s.name, res)
+		}
+		return LocalityRow{
+			LocalFrac:  frac,
+			Topology:   s.name,
+			AvgLatency: res.AvgLatency,
+			Throughput: res.ThroughputFPC,
+		}, nil
+	})
 }
 
 // LocalitySweepString renders the locality sweep.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -25,7 +26,8 @@ type PermRow struct {
 // structured analogue of §3.0's load-imbalance scenarios: each node sends
 // one transfer, and the pattern decides how badly the deterministic routes
 // collide.
-func PermutationStudy(flits int) ([]PermRow, error) {
+func PermutationStudy(flits int, opts ...runner.Option) ([]PermRow, error) {
+	cfg := runner.NewConfig(opts...)
 	ftSys, _, err := core.NewFatTree(4, 2, 64)
 	if err != nil {
 		return nil, err
@@ -62,28 +64,28 @@ func PermutationStudy(flits int) ([]PermRow, error) {
 		{"nearest neighbor", workload.NearestNeighbor(64)},
 	}
 
-	var rows []PermRow
-	for _, p := range patterns {
-		for _, s := range systems {
-			specs := workload.Permutation(p.perm, flits)
-			res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4})
-			if err != nil {
-				return nil, err
-			}
-			if res.Deadlocked || res.Delivered != len(specs) {
-				return nil, fmt.Errorf("experiments: %s on %s failed: %+v", p.name, s.name, res)
-			}
-			rows = append(rows, PermRow{
-				Pattern:    p.name,
-				Topology:   s.name,
-				Transfers:  len(specs),
-				Cycles:     res.Cycles,
-				AvgLatency: res.AvgLatency,
-				Throughput: res.ThroughputFPC,
-			})
+	// Permutations are fully deterministic (no RNG at all), so the grid
+	// fans over the pool with nothing to seed.
+	return runner.Map(cfg, len(patterns)*len(systems), func(i int) (PermRow, error) {
+		p, s := patterns[i/len(systems)], systems[i%len(systems)]
+		specs := workload.Permutation(p.perm, flits)
+		res, err := observe(cfg, fmt.Sprintf("perm %s %s", p.name, s.name),
+			s.sys, specs, sim.Config{FIFODepth: 4})
+		if err != nil {
+			return PermRow{}, err
 		}
-	}
-	return rows, nil
+		if res.Deadlocked || res.Delivered != len(specs) {
+			return PermRow{}, fmt.Errorf("experiments: %s on %s failed: %+v", p.name, s.name, res)
+		}
+		return PermRow{
+			Pattern:    p.name,
+			Topology:   s.name,
+			Transfers:  len(specs),
+			Cycles:     res.Cycles,
+			AvgLatency: res.AvgLatency,
+			Throughput: res.ThroughputFPC,
+		}, nil
+	})
 }
 
 // PermutationStudyString renders the permutation grid.

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,8 +30,13 @@ const LatencyFactor = 4.0
 // Saturation sweeps offered load geometrically on each 64-node contender
 // and reports the knee of the latency curve — the measured counterpart of
 // the paper's bisection and contention arguments: topologies with higher
-// worst-case contention saturate earlier.
-func Saturation(cycles, flits int, seed int64) ([]SaturationRow, error) {
+// worst-case contention saturate earlier. The per-topology knee searches
+// are independent and fan over the runner's worker pool; each probe rung
+// of the geometric ladder seeds its workload from (seed, rung index), the
+// same for every topology, so the knees stay comparable and the rows are
+// identical for any worker count.
+func Saturation(cycles, flits int, seed int64, opts ...runner.Option) ([]SaturationRow, error) {
+	cfg := runner.NewConfig(opts...)
 	ftSys, _, err := core.NewFatTree(4, 2, 64)
 	if err != nil {
 		return nil, err
@@ -58,28 +63,29 @@ func Saturation(cycles, flits int, seed int64) ([]SaturationRow, error) {
 		{"6x6 mesh", meshSys},
 	}
 
-	var rows []SaturationRow
-	for _, s := range systems {
-		run := func(rate float64) (sim.Result, error) {
-			rng := rand.New(rand.NewSource(seed))
+	return runner.Map(cfg, len(systems), func(i int) (SaturationRow, error) {
+		s := systems[i]
+		run := func(rung int, rate float64) (sim.Result, error) {
+			rng := runner.RNG(seed, rung)
 			specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), cycles, flits, rate)
-			return s.sys.Simulate(specs, sim.Config{FIFODepth: 4, MaxCycles: 100 * cycles})
+			return observe(cfg, fmt.Sprintf("saturation %s rate=%.3f", s.name, rate),
+				s.sys, specs, sim.Config{FIFODepth: 4, MaxCycles: 100 * cycles})
 		}
-		base, err := run(0.001)
+		base, err := run(0, 0.001)
 		if err != nil {
-			return nil, err
+			return SaturationRow{}, err
 		}
 		row := SaturationRow{Topology: s.name, BaseLatency: base.AvgLatency}
 		rate := 0.002
 		lastGood := 0.001
 		lastTput := base.ThroughputFPC
-		for rate <= 0.5 {
-			res, err := run(rate)
+		for rung := 1; rate <= 0.5; rung++ {
+			res, err := run(rung, rate)
 			if err != nil {
-				return nil, err
+				return SaturationRow{}, err
 			}
 			if res.Deadlocked {
-				return nil, fmt.Errorf("experiments: %s deadlocked at rate %.3f", s.name, rate)
+				return SaturationRow{}, fmt.Errorf("experiments: %s deadlocked at rate %.3f", s.name, rate)
 			}
 			if res.AvgLatency > LatencyFactor*base.AvgLatency {
 				break
@@ -89,9 +95,8 @@ func Saturation(cycles, flits int, seed int64) ([]SaturationRow, error) {
 		}
 		row.SatOffered = lastGood * float64(flits)
 		row.SatThroughput = lastTput
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // SaturationString renders the saturation comparison.

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -24,10 +24,14 @@ type SweepRow struct {
 	Deadlocked bool
 }
 
-// SimSweep runs open-loop Bernoulli traffic at each rate over the two
-// 64-node contenders (4-2 fat tree and fat fractahedron) and reports the
-// latency/throughput curves.
-func SimSweep(rates []float64, warmCycles, flits int, seed int64) ([]SweepRow, error) {
+// SimSweep runs open-loop Bernoulli traffic at each rate over the three
+// 64-node contenders and reports the latency/throughput curves. Points fan
+// over the runner's worker pool; each point's workload derives from
+// (seed, rate index), so all topologies face the same packet stream at a
+// given rate — keeping the curves comparable — while distinct rates draw
+// independent streams, and the rows are bit-identical for any worker count.
+func SimSweep(rates []float64, warmCycles, flits int, seed int64, opts ...runner.Option) ([]SweepRow, error) {
+	cfg := runner.NewConfig(opts...)
 	type system struct {
 		name string
 		sys  *core.System
@@ -46,27 +50,25 @@ func SimSweep(rates []float64, warmCycles, flits int, seed int64) ([]SweepRow, e
 	}
 	systems := []system{{"4-2 fat tree", ftSys}, {"fat fractahedron", frSys}, {"thin fractahedron", thinSys}}
 
-	var rows []SweepRow
-	for _, rate := range rates {
-		for _, s := range systems {
-			rng := rand.New(rand.NewSource(seed))
-			specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), warmCycles, flits, rate)
-			res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SweepRow{
-				Topology:   s.name,
-				Rate:       rate,
-				Offered:    rate * float64(flits),
-				Delivered:  res.Delivered,
-				AvgLatency: res.AvgLatency,
-				Throughput: res.ThroughputFPC,
-				Deadlocked: res.Deadlocked,
-			})
+	return runner.Map(cfg, len(rates)*len(systems), func(i int) (SweepRow, error) {
+		rate, s := rates[i/len(systems)], systems[i%len(systems)]
+		rng := runner.RNG(seed, i/len(systems))
+		specs := workload.Bernoulli(rng, s.sys.Net.NumNodes(), warmCycles, flits, rate)
+		res, err := observe(cfg, fmt.Sprintf("sweep %s rate=%.3f", s.name, rate),
+			s.sys, specs, sim.Config{FIFODepth: 4})
+		if err != nil {
+			return SweepRow{}, err
 		}
-	}
-	return rows, nil
+		return SweepRow{
+			Topology:   s.name,
+			Rate:       rate,
+			Offered:    rate * float64(flits),
+			Delivered:  res.Delivered,
+			AvgLatency: res.AvgLatency,
+			Throughput: res.ThroughputFPC,
+			Deadlocked: res.Deadlocked,
+		}, nil
+	})
 }
 
 // SimSweepString renders the latency/throughput curves.
@@ -102,7 +104,8 @@ type DBScenarioRow struct {
 // (the contention matching's witness). The per-stream bandwidth then shows
 // the contention ratio operating: ~1/12 flit/cycle on the fat tree versus
 // ~1/8 on the fat fractahedron.
-func DatabaseScenario(transfersEach, flits int) ([]DBScenarioRow, error) {
+func DatabaseScenario(transfersEach, flits int, opts ...runner.Option) ([]DBScenarioRow, error) {
+	cfg := runner.NewConfig(opts...)
 	type system struct {
 		name string
 		sys  *core.System
@@ -115,12 +118,13 @@ func DatabaseScenario(transfersEach, flits int) ([]DBScenarioRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	systems := []system{{"4-2 fat tree", ftSys}, {"fat fractahedron", frSys}}
 
-	var rows []DBScenarioRow
-	for _, s := range []system{{"4-2 fat tree", ftSys}, {"fat fractahedron", frSys}} {
+	return runner.Map(cfg, len(systems), func(i int) (DBScenarioRow, error) {
+		s := systems[i]
 		worst, err := contention.MaxLinkContention(s.sys.Tables)
 		if err != nil {
-			return nil, err
+			return DBScenarioRow{}, err
 		}
 		var cpus, disks []int
 		for _, w := range worst.Witness {
@@ -128,24 +132,23 @@ func DatabaseScenario(transfersEach, flits int) ([]DBScenarioRow, error) {
 			disks = append(disks, w.Dst)
 		}
 		specs := workload.DatabaseQuery(cpus, disks, transfersEach, flits)
-		res, err := s.sys.Simulate(specs, sim.Config{FIFODepth: 4})
+		res, err := observe(cfg, "db "+s.name, s.sys, specs, sim.Config{FIFODepth: 4})
 		if err != nil {
-			return nil, err
+			return DBScenarioRow{}, err
 		}
 		perStream := 0.0
 		if res.Cycles > 0 {
 			perStream = res.ThroughputFPC / float64(len(cpus))
 		}
-		rows = append(rows, DBScenarioRow{
+		return DBScenarioRow{
 			Topology:    s.name,
 			Streams:     len(cpus),
 			Transfers:   len(specs),
 			Cycles:      res.Cycles,
 			PerStreamBW: perStream,
 			OrderKept:   res.InOrderViolations == 0,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // DatabaseScenarioString renders the database workload comparison.

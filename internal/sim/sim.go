@@ -7,7 +7,11 @@
 // become true deadlocks.
 //
 // The simulator is deterministic: ties are broken by channel order and
-// per-output round-robin arbitration. It detects deadlock by lack of
+// per-output round-robin arbitration. It holds no random state at all —
+// every source of randomness in an experiment lives in the workload
+// generator's explicit *rand.Rand — which is what lets internal/runner fan
+// simulation points over a worker pool and still produce bit-identical
+// results for any worker count. It detects deadlock by lack of
 // forward progress and extracts a witness cycle from the channel wait-for
 // graph, verifies in-order delivery per source-destination pair (the
 // ServerNet protocol requirement of §3.3), enforces the path-disable
@@ -127,6 +131,18 @@ type Result struct {
 	Retries int
 	// ChannelFlits counts flit crossings per physical channel.
 	ChannelFlits map[topology.ChannelID]int
+}
+
+// FlitMoves is the total number of flit-channel crossings the run
+// performed — the simulator's unit of work, summed over ChannelFlits. The
+// experiment runner records it per run so campaign summaries can report
+// simulation cost independent of wall clock.
+func (r Result) FlitMoves() int {
+	total := 0
+	for _, n := range r.ChannelFlits {
+		total += n
+	}
+	return total
 }
 
 type packet struct {

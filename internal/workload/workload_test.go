@@ -2,8 +2,11 @@ package workload
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/sim"
 )
 
 func TestUniformRandomValid(t *testing.T) {
@@ -153,6 +156,94 @@ func TestNearestNeighborAndTornado(t *testing.T) {
 		if tor[s] != (s+4)%8 {
 			t.Errorf("tornado[%d] = %d", s, tor[s])
 		}
+	}
+}
+
+// TestGeneratorsDeterministic pins the contract the parallel experiment
+// engine depends on: every random generator is a pure function of its
+// *rand.Rand, so a fixed seed yields a fixed packet list and a different
+// seed yields a different one.
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]func(rng *rand.Rand) []sim.PacketSpec{
+		"uniform":   func(rng *rand.Rand) []sim.PacketSpec { return UniformRandom(rng, 16, 60, 4, 100) },
+		"bernoulli": func(rng *rand.Rand) []sim.PacketSpec { return Bernoulli(rng, 16, 200, 4, 0.05) },
+		"hotspot":   func(rng *rand.Rand) []sim.PacketSpec { return Hotspot(rng, 16, 60, 4, 100, 3, 0.4) },
+		"locality":  func(rng *rand.Rand) []sim.PacketSpec { return Locality(rng, 16, 60, 4, 100, 4, 0.6) },
+	}
+	for name, gen := range gens {
+		a := gen(rand.New(rand.NewSource(7)))
+		b := gen(rand.New(rand.NewSource(7)))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different packet lists", name)
+		}
+		c := gen(rand.New(rand.NewSource(8)))
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical packet lists", name)
+		}
+	}
+}
+
+// TestPermutationsAreBijections checks every permutation builder returns a
+// true bijection over its node range — each node sends exactly once and
+// receives exactly once.
+func TestPermutationsAreBijections(t *testing.T) {
+	perms := map[string][]int{
+		"bit complement":   BitComplement(16),
+		"bit reversal":     BitReversal(16),
+		"transpose":        Transpose(4),
+		"tornado":          Tornado(16),
+		"nearest neighbor": NearestNeighbor(16),
+	}
+	for name, perm := range perms {
+		seen := make([]bool, len(perm))
+		for s, d := range perm {
+			if d < 0 || d >= len(perm) {
+				t.Errorf("%s: perm[%d] = %d out of range", name, s, d)
+				continue
+			}
+			if seen[d] {
+				t.Errorf("%s: destination %d hit twice", name, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestDatabaseQueryRoundRobin(t *testing.T) {
+	cpus := []int{0, 1, 2}
+	disks := []int{10, 11, 12, 13}
+	specs := DatabaseQuery(cpus, disks, 4, 8)
+	if len(specs) != len(cpus)*4 {
+		t.Fatalf("specs = %d, want %d", len(specs), len(cpus)*4)
+	}
+	// CPU i's k-th transfer targets disks[(i+k) % len(disks)], so the load
+	// spreads evenly and no two CPUs start on the same disk.
+	for i := range cpus {
+		for k := 0; k < 4; k++ {
+			s := specs[i*4+k]
+			if s.Src != cpus[i] {
+				t.Fatalf("transfer %d src = %d, want %d", i*4+k, s.Src, cpus[i])
+			}
+			if want := disks[(i+k)%len(disks)]; s.Dst != want {
+				t.Errorf("cpu %d transfer %d dst = %d, want %d", i, k, s.Dst, want)
+			}
+		}
+	}
+}
+
+func TestHotspotFractionBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	specs := Hotspot(rng, 16, 4000, 4, 0, 5, 0.3)
+	hot := 0
+	for _, s := range specs {
+		if s.Dst == 5 {
+			hot++
+		}
+	}
+	// 30% directed plus ~1/15 of the remaining uniform share ≈ 34.7%.
+	frac := float64(hot) / float64(len(specs))
+	if frac < 0.30 || frac > 0.40 {
+		t.Errorf("hotspot fraction = %.3f, want about 0.347", frac)
 	}
 }
 
