@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench sweep-bench golden clean
+.PHONY: all build test check race bench sweep-bench golden clean lint vet-lint certify
 
 all: build test
 
@@ -10,9 +10,29 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: static analysis plus the full suite under the race
-# detector (the parallel experiment engine must be race-clean).
-check:
+# lint runs the simlint multichecker (internal/analyzers) over the whole
+# tree: the static half of the determinism contract. See README.md
+# "Determinism contract" for the analyzers and the suppression directive.
+lint:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	bin/simlint ./...
+
+# vet-lint runs the same suite through `go vet`'s unit-checker protocol —
+# same findings, but batched per package by the go command (and applied to
+# test files' packages too; the analyzers themselves skip _test.go files).
+vet-lint:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	$(GO) vet -vettool=$(abspath bin/simlint) ./...
+
+# certify re-proves the Dally–Seitz deadlock-freedom certificate for every
+# built-in topology × routing pair.
+certify:
+	$(GO) run ./cmd/deadlockcheck -all
+
+# check is the CI gate: go vet, the simlint determinism suite, the static
+# deadlock certificates, then the full test suite under the race detector
+# (the parallel experiment engine must be race-clean).
+check: lint certify
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

@@ -1,0 +1,158 @@
+// Command simlint runs the repository's determinism-contract analyzers
+// (internal/analyzers) over Go packages. It is both a standalone
+// multichecker and a `go vet` tool:
+//
+//	simlint ./...                      # multichecker over package patterns
+//	simlint -enable nondet,maporder ./...
+//	go vet -vettool=$(which simlint) ./...   # unit-checker protocol
+//
+// Findings print as file:line:col: message (analyzer). The exit status is
+// 0 when clean, 1 on findings, 2 on a driver error. A finding is
+// suppressed by an inline `//simlint:ignore <names> <why>` directive on
+// the same or preceding line; see README.md "Determinism contract".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	enable := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	version := fs.Bool("V", false, "print version and exit (go vet tool-ID handshake)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-enable names] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Static checks for the simulation determinism contract.\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, strings.SplitN(a.Doc, ";", 2)[0])
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+
+	// `go vet` probes its tool with -V=full before handing it vet.cfg
+	// files; answer the handshake before normal flag parsing (the flag
+	// package would reject "-V=full" as a non-boolean value for -V).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// Format contract (cmd/go/internal/work.toolID): at least
+			// three fields, "<name> version <non-devel-version>".
+			fmt.Printf("simlint version v1.0.0-%s\n", buildRevision())
+			return 0
+		case "-flags", "--flags":
+			// go vet probes for forwardable analyzer flags
+			// (cmd/go/internal/vet.vetFlags); simlint forwards none.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	// In vet-tool mode the go command passes analyzer flags we do not
+	// define (e.g. -unsafeptr=false) followed by a *.cfg path. Strip
+	// unknown flags so both invocation styles share one entry point.
+	cfgFile, rest := splitVetInvocation(args)
+	if cfgFile != "" {
+		if err := runUnitChecker(cfgFile); err != nil {
+			if diags, ok := err.(diagnosticsFound); ok {
+				fmt.Fprint(os.Stderr, string(diags))
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Printf("simlint version v1.0.0-%s\n", buildRevision())
+		return 0
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	suite, ok := analyzers.ByName(splitNames(*enable))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simlint: unknown analyzer in -enable=%q\n", *enable)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := load.Packages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(suite, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", pkg.ImportPath, err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Printf("%s\n", f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// splitVetInvocation detects the unit-checker calling convention: the
+// final argument is a *.cfg file produced by the go command. Everything
+// else on that command line is vet flags meant for other analyzers.
+func splitVetInvocation(args []string) (cfgFile string, rest []string) {
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		return args[n-1], nil
+	}
+	return "", args
+}
+
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func buildRevision() string {
+	// A stable pseudo-revision: the go command only requires a non-"devel"
+	// third field to derive a tool ID; content-addressing of the binary
+	// itself is handled by the build cache.
+	return "simlint"
+}

@@ -1,0 +1,121 @@
+package main
+
+// The unit-checker half of simlint: `go vet -vettool=simlint` invokes the
+// tool once per package with a JSON config file describing the unit of
+// work — source files, the import map, and export-data files for every
+// dependency the go command already compiled. This mirrors
+// x/tools/go/analysis/unitchecker without the dependency, speaking the
+// protocol defined by cmd/go/internal/work.vetConfig.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers"
+)
+
+// vetConfig is the subset of cmd/go's vet configuration simlint reads.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// diagnosticsFound carries rendered findings through the error return so
+// main can print them and exit 1 (go vet treats any nonzero exit as a
+// reported problem).
+type diagnosticsFound string
+
+func (d diagnosticsFound) Error() string { return "diagnostics found" }
+
+func runUnitChecker(cfgFile string) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The go command reads the vetx (facts) output even from analyzers
+	// that, like these, define no facts; write an empty file first so a
+	// later failure still leaves the protocol satisfied.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.Run(analyzers.All(), fset, files, pkg, info)
+	if err != nil {
+		return err
+	}
+	if len(findings) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "%s\n", f)
+	}
+	return diagnosticsFound(sb.String())
+}

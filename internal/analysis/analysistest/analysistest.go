@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against // want comments, mirroring the
+// x/tools package of the same name on top of the stdlib-only driver.
+//
+// A fixture line expects diagnostics by carrying a trailing comment of Go
+// string literals, each a regular expression that must match one
+// diagnostic reported on that line:
+//
+//	rand.Intn(4) // want `global math/rand`
+//
+// Every expectation must be matched and every diagnostic must be
+// expected; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the caller's testdata/src directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata", "src")
+}
+
+// Run loads testdata/src/<fixture> relative to the calling test file,
+// applies the analyzer, and matches diagnostics against want comments.
+// It returns the findings for any extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, srcDir, fixture string) []analysis.Finding {
+	t.Helper()
+	dir := filepath.Join(srcDir, fixture)
+	pkg, err := load.Fixture(dir)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(f.Position.Filename) || w.line != f.Position.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s",
+				filepath.Base(f.Position.Filename), f.Position.Line, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return findings
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *load.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range stringLiterals(t, pos, text) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+					}
+					wants = append(wants, want{filepath.Base(pos.Filename), pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// stringLiterals parses a sequence of Go string literals ("..." or `...`)
+// separated by spaces.
+func stringLiterals(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: want comment remainder %q is not a string literal", pos, s)
+		}
+		lit, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s: %v", pos, fmt.Errorf("unquoting %q: %w", prefix, err))
+		}
+		out = append(out, lit)
+		s = s[len(prefix):]
+	}
+}

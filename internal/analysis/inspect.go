@@ -1,0 +1,38 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every file in the pass and calls fn for each node with
+// the stack of enclosing nodes (outermost first, ending at the node
+// itself). Returning false prunes the subtree. It is the small slice of
+// x/tools' astutil/inspector the analyzers need: most checks here are
+// "does this node sit inside that construct" questions.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal in
+// the stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package load type-checks Go packages for the simlint analyzers without
+// any dependency outside the standard library. It shells out to
+// `go list -export -deps -json`, which compiles (or reuses from the build
+// cache) export data for every dependency, then parses the target
+// packages from source and type-checks them with the stdlib gc importer
+// reading that export data — the same offline protocol go/packages speaks,
+// reduced to what a vet-style analysis driver needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks the packages matching the go
+// list patterns, resolving every import through build-cache export data.
+// dir is the working directory for the go command (any directory inside
+// the module).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportMap(listed)
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// Fixture loads the single package whose sources sit directly in dir
+// (typically a testdata/src/<name> fixture), resolving its imports
+// through the enclosing module. The package's import path is the
+// directory base name, as in x/tools' analysistest layout.
+func Fixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, e.Name())
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+
+	// Resolve the fixture's imports via the module the fixture lives in.
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		listed, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		exports = exportMap(listed)
+	}
+
+	imp := newExportImporter(fset, exports)
+	lp := listedPackage{ImportPath: filepath.Base(dir), Dir: dir, GoFiles: names}
+	return checkParsed(fset, imp, lp, files)
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+func exportMap(listed []listedPackage) map[string]string {
+	m := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			m[lp.ImportPath] = lp.Export
+		}
+	}
+	return m
+}
+
+// newExportImporter returns a types.Importer that reads gc export data
+// from the files recorded by `go list -export`.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			// The std library vendors some modules; go list reports them
+			// under a vendor/ prefix while source imports use the bare path.
+			if f, ok2 := exports["vendor/"+path]; ok2 {
+				file = f
+			} else {
+				return nil, fmt.Errorf("load: no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func check(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkParsed(fset, imp, lp, files)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, lp listedPackage, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: imp}
+	pkg, err := cfg.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package load
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot locates the module root from this file's position, so the
+// tests work regardless of the test binary's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "..")
+}
+
+func TestPackagesTypeChecksRunner(t *testing.T) {
+	pkgs, err := Packages(repoRoot(t), "repro/internal/runner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/runner" {
+		t.Errorf("import path %q", p.ImportPath)
+	}
+	obj := p.Types.Scope().Lookup("PointSeed")
+	if obj == nil {
+		t.Fatal("runner.PointSeed not found in type-checked package")
+	}
+	if _, ok := obj.Type().(*types.Signature); !ok {
+		t.Errorf("PointSeed is %T, want function", obj.Type())
+	}
+	if len(p.TypesInfo.Uses) == 0 {
+		t.Error("TypesInfo.Uses empty; type information missing")
+	}
+}
+
+func TestPackagesResolvesIntraModuleImports(t *testing.T) {
+	// experiments imports runner, sim, topology, ...: exercises export
+	// data resolution for both std and repro packages.
+	pkgs, err := Packages(repoRoot(t), "repro/internal/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A //simlint:ignore directive suppresses findings on its own line and on
+// the line below it, so it works both as a trailing comment and as a
+// standalone comment above the flagged statement. A bare directive
+// suppresses every analyzer; otherwise its first field is a
+// comma-separated list of analyzer names and the rest is free-form
+// justification:
+//
+//	//simlint:ignore maporder keys are rendered sorted by the caller
+//	rand.Shuffle(n, swap) //simlint:ignore nondet demo only
+const ignoreDirective = "//simlint:ignore"
+
+type suppressions struct {
+	// byLine maps file:line to the set of suppressed analyzer names;
+	// an entry containing "*" suppresses all analyzers on that line.
+	byLine map[string]map[string]bool
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := suppressions{byLine: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				names := map[string]bool{}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					names["*"] = true
+				} else {
+					for _, n := range strings.Split(fields[0], ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names[n] = true
+						}
+					}
+				}
+				pos := fset.Position(c.Pos())
+				s.add(pos.Filename, pos.Line, names)
+				s.add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return s
+}
+
+func (s suppressions) add(file string, line int, names map[string]bool) {
+	key := lineKey(file, line)
+	m := s.byLine[key]
+	if m == nil {
+		m = make(map[string]bool)
+		s.byLine[key] = m
+	}
+	for n := range names {
+		m[n] = true
+	}
+}
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	m := s.byLine[lineKey(pos.Filename, pos.Line)]
+	return m != nil && (m["*"] || m[analyzer])
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

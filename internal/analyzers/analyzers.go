@@ -1,0 +1,44 @@
+// Package analyzers registers the simlint suite: the static checks that
+// enforce the repository's determinism and seeding contracts (see the
+// "Determinism contract" section of README.md). cmd/simlint runs them as
+// a multichecker and as a `go vet -vettool`; each analyzer also has
+// analysistest coverage over deliberately-bad fixtures.
+package analyzers
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analyzers/maporder"
+	"repro/internal/analyzers/nondet"
+	"repro/internal/analyzers/printfloat"
+	"repro/internal/analyzers/seedflow"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		nondet.Analyzer,
+		printfloat.Analyzer,
+		seedflow.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or All() when names is empty.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	if len(names) == 0 {
+		return All(), true
+	}
+	index := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

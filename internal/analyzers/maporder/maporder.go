@@ -1,0 +1,163 @@
+// Package maporder flags range statements over maps whose body order
+// becomes observable — appending to an outer slice, writing output, or
+// building an error — without the appended data being sorted afterwards.
+// Go randomizes map iteration order on purpose, which makes it the
+// classic silent determinism killer: code works every time locally and
+// produces row orders that differ across runs or machines.
+//
+// Order-insensitive uses are exempt: writes keyed by the range key
+// (per-key bucketing such as merge loops), commutative accumulation
+// (+= on numbers, writes into other maps), and appends whose target is
+// sorted later in the same function.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order reaches a slice, output stream or error without a sort; " +
+		"map order is randomized and silently breaks run-to-run determinism",
+	Run: run,
+}
+
+// outputFuncs are fmt functions that emit in call order: interleaving map
+// iteration with them bakes the random order into the output. The Sprint
+// family is excluded — a string built per iteration and stored by key is
+// order-insensitive.
+var outputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Appendf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	files := astq.LibFiles(pass.Fset, pass.Files)
+	analysis.WithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRange(pass, rng, stack)
+		return true
+	})
+	return nil, nil
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	info := pass.TypesInfo
+	keyObj := astq.AssignedObject(info, rng.Key)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if app := appendTarget(info, st); app != nil {
+				if keyedByRangeKey(info, app.index, keyObj) {
+					return true // per-key bucketing: each key visited once
+				}
+				if declaredInside(app.obj, rng) {
+					return true // local accumulation, order invisible outside
+				}
+				if sortedLater(pass, rng, stack, app.obj) {
+					return true
+				}
+				name := "slice"
+				if app.obj != nil {
+					name = app.obj.Name()
+				}
+				pass.Reportf(st.Pos(),
+					"append to %s inside range over map: element order follows the randomized map order; iterate sorted keys or sort %s before it is used", name, name)
+			}
+		case *ast.CallExpr:
+			if path, name, ok := astq.PkgCall(info, st); ok && path == "fmt" && outputFuncs[name] {
+				pass.Reportf(st.Pos(),
+					"fmt.%s inside range over map emits in randomized map order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+type appendInfo struct {
+	obj   types.Object // the appended variable (nil if not an identifier)
+	index ast.Expr     // index expression when the target is m[k], else nil
+}
+
+// appendTarget recognizes `x = append(x, ...)` / `m[k] = append(m[k], ...)`
+// and returns the written target.
+func appendTarget(info *types.Info, st *ast.AssignStmt) *appendInfo {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || info.ObjectOf(id) != nil && info.ObjectOf(id).Pkg() != nil {
+		return nil
+	}
+	switch lhs := st.Lhs[0].(type) {
+	case *ast.Ident:
+		return &appendInfo{obj: info.ObjectOf(lhs)}
+	case *ast.IndexExpr:
+		if base, ok := lhs.X.(*ast.Ident); ok {
+			return &appendInfo{obj: info.ObjectOf(base), index: lhs.Index}
+		}
+		return &appendInfo{index: lhs.Index}
+	}
+	return nil
+}
+
+func keyedByRangeKey(info *types.Info, index ast.Expr, keyObj types.Object) bool {
+	return index != nil && keyObj != nil && astq.MentionsObject(info, index, keyObj)
+}
+
+func declaredInside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// sortedLater reports whether obj is passed to a sort call in a statement
+// after the range, anywhere up the enclosing blocks: the established
+// collect-then-sort idiom keeps the final order deterministic.
+func sortedLater(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	fn := analysis.EnclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		path, name, ok := astq.PkgCall(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		isSort := path == "sort" || path == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if astq.MentionsObject(pass.TypesInfo, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

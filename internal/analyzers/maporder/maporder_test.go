@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/maporder"
+)
+
+func TestMaporderFixture(t *testing.T) {
+	findings := analysistest.Run(t, maporder.Analyzer, analysistest.TestData(t), "maporder")
+	if len(findings) < 3 {
+		t.Fatalf("maporder reported %d findings on the bad fixture, want >= 3", len(findings))
+	}
+}

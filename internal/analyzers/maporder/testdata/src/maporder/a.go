@@ -1,0 +1,76 @@
+// Package maporderfix is a deliberately-bad fixture for the maporder
+// analyzer: appends and output in randomized map order, next to the
+// sanctioned collect-then-sort and per-key-bucketing idioms.
+package maporderfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func unsortedAppend(counts map[string]int) []string {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k) // want `append to rows inside range over map`
+	}
+	return rows
+}
+
+func sortedAppendOK(counts map[string]int) []string {
+	var rows []string
+	for k := range counts {
+		rows = append(rows, k) // sorted below: deterministic
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func sortSliceOK(counts map[string]int) []int {
+	var rows []int
+	for _, v := range counts {
+		rows = append(rows, v)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+func printOutput(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map`
+	}
+}
+
+func errorFromKey(opts map[string]int) error {
+	for k := range opts {
+		return fmt.Errorf("unknown option %q", k) // want `fmt.Errorf inside range over map`
+	}
+	return nil
+}
+
+func bucketingOK(src map[string][]int) map[string][]int {
+	dst := make(map[string][]int)
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...) // keyed by the range key: each key once
+	}
+	return dst
+}
+
+func localAccumulationOK(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		peers := []int{}
+		peers = append(peers, v) // local to the body: order invisible outside
+		total += peers[0]
+	}
+	return total
+}
+
+func suppressedAppend(counts map[string]int) []string {
+	var rows []string
+	for k := range counts {
+		//simlint:ignore maporder caller renders rows as a set
+		rows = append(rows, k)
+	}
+	return rows
+}

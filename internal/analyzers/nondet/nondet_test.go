@@ -1,0 +1,17 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/nondet"
+)
+
+func TestNondetFixture(t *testing.T) {
+	findings := analysistest.Run(t, nondet.Analyzer, analysistest.TestData(t), "nondet")
+	// Regression guard: an analyzer that silently stops reporting would
+	// otherwise pass a fixture with no want comments left.
+	if len(findings) < 8 {
+		t.Fatalf("nondet reported %d findings on the bad fixture, want >= 8", len(findings))
+	}
+}

@@ -1,0 +1,125 @@
+// Package printfloat flags floats formatted with %v or %g in
+// internal/experiments output. Those verbs use the shortest
+// representation that round-trips, so a value that lands on 1.25 prints
+// "1.25" while its neighbour prints "1.2499999999999998" — table columns
+// wobble and golden files churn on any ULP-level change. Row output must
+// use fixed-precision verbs (%.3f style) so renderings are stable under
+// refactoring and across architectures.
+package printfloat
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers/astq"
+)
+
+var scope = map[string]bool{
+	"repro/internal/experiments": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "printfloat",
+	Doc: "flag %v/%g formatting of floats in experiment output; use fixed-precision verbs " +
+		"(%.3f style) so rendered rows and golden files are byte-stable",
+	Run: run,
+}
+
+// formatFuncs maps fmt formatting functions to the index of their format
+// string argument.
+var formatFuncs = map[string]int{
+	"Printf":  0,
+	"Sprintf": 0,
+	"Errorf":  0,
+	"Fprintf": 1,
+	"Appendf": 1,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !astq.InScope(pass.Pkg.Path(), scope) {
+		return nil, nil
+	}
+	for _, file := range astq.LibFiles(pass.Fset, pass.Files) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := astq.PkgCall(pass.TypesInfo, call)
+			if !ok || path != "fmt" {
+				return true
+			}
+			fmtIdx, ok := formatFuncs[name]
+			if !ok || len(call.Args) <= fmtIdx {
+				return true
+			}
+			format, ok := constantString(pass.TypesInfo, call.Args[fmtIdx])
+			if !ok {
+				return true
+			}
+			checkFormat(pass, call, name, format, call.Args[fmtIdx+1:])
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkFormat walks the verbs of a format string, pairing them with the
+// variadic arguments, and reports %v/%g (and %G) applied to a float.
+func checkFormat(pass *analysis.Pass, call *ast.CallExpr, fname, format string, args []ast.Expr) {
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		verb := byte(0)
+		for ; i < len(format); i++ {
+			c := format[i]
+			switch {
+			case c == '*':
+				arg++ // dynamic width/precision consumes an argument
+			case c == '[':
+				// Explicit argument indexes reorder consumption; bail out
+				// of this format string rather than misattribute types.
+				return
+			case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+				verb = c
+			}
+			if verb != 0 {
+				break
+			}
+		}
+		if verb == 0 {
+			return
+		}
+		if verb == 'v' || verb == 'g' || verb == 'G' {
+			if arg < len(args) && isFloat(pass.TypesInfo.TypeOf(args[arg])) {
+				pass.Reportf(call.Pos(),
+					"fmt.%s formats a float with %%%c; use a fixed-precision verb like %%.3f so experiment rows are byte-stable", fname, verb)
+			}
+		}
+		arg++
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

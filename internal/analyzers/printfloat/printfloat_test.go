@@ -1,0 +1,15 @@
+package printfloat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/printfloat"
+)
+
+func TestPrintfloatFixture(t *testing.T) {
+	findings := analysistest.Run(t, printfloat.Analyzer, analysistest.TestData(t), "printfloat")
+	if len(findings) < 5 {
+		t.Fatalf("printfloat reported %d findings on the bad fixture, want >= 5", len(findings))
+	}
+}

@@ -1,0 +1,40 @@
+// Package printfloatfix is a deliberately-bad fixture for the printfloat
+// analyzer: floats reaching %v and %g verbs next to sanctioned
+// fixed-precision formatting.
+package printfloatfix
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func rowV(lat float64) string {
+	return fmt.Sprintf("latency=%v", lat) // want `formats a float with %v`
+}
+
+func rowG(w io.Writer, throughput float64) {
+	fmt.Fprintf(w, "throughput=%g f/c\n", throughput) // want `formats a float with %g`
+}
+
+func rowBigG(rate float32) string {
+	return fmt.Sprintf("rate=%G", rate) // want `formats a float with %G`
+}
+
+func starWidth(sb *strings.Builder, width int, hops float64) {
+	// The * consumes an argument; the float is still paired with %v.
+	fmt.Fprintf(sb, "%*d hops=%v", width, 3, hops) // want `formats a float with %v`
+}
+
+func errWrap(rate float64) error {
+	return fmt.Errorf("rate %v unreachable", rate) // want `formats a float with %v`
+}
+
+func fixedOK(lat, thr float64, deadlocked bool) string {
+	// Fixed precision for floats, %v for non-floats: the contract's shape.
+	return fmt.Sprintf("%.1f %.3f deadlocked=%v", lat, thr, deadlocked)
+}
+
+func suppressed(x float64) string {
+	return fmt.Sprintf("%v", x) //simlint:ignore printfloat fixture exercises the directive
+}

@@ -1,0 +1,129 @@
+// Package seedflow enforces the per-point seeding discipline inside
+// internal/experiments: every rand.NewSource / rand.New seed must derive
+// from runner.PointSeed (or come straight from runner.RNG), so each
+// simulation point owns an independent, reproducible stream keyed by
+// (experiment seed, point index). Ad-hoc seeds — literals, raw loop
+// counters, or a bare function parameter — silently correlate streams
+// between points or tie an experiment's workload to whichever call site
+// happened to pick the constant.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analyzers/astq"
+)
+
+var scope = map[string]bool{
+	"repro/internal/experiments": true,
+}
+
+const runnerPath = "repro/internal/runner"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "flag rand.NewSource/rand.New seeds in internal/experiments that do not derive from " +
+		"runner.PointSeed/runner.RNG; per-point seeding is what keeps parallel experiments bit-identical",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !astq.InScope(pass.Pkg.Path(), scope) {
+		return nil, nil
+	}
+	files := astq.LibFiles(pass.Fset, pass.Files)
+	analysis.WithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := astq.PkgCall(pass.TypesInfo, call)
+		if !ok || path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		var seeds []ast.Expr
+		switch name {
+		case "NewSource", "NewPCG":
+			seeds = call.Args
+		case "New":
+			// rand.New(rand.NewSource(x)) reports on the inner NewSource
+			// visit; only a non-constructor source argument lands here.
+			if len(call.Args) == 1 {
+				if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+					if p, n, ok := astq.PkgCall(pass.TypesInfo, inner); ok &&
+						(p == "math/rand" || p == "math/rand/v2") && (n == "NewSource" || n == "NewPCG") {
+						return true
+					}
+				}
+				seeds = call.Args
+			}
+		default:
+			return true
+		}
+		for _, seed := range seeds {
+			if !derives(pass, seed, analysis.EnclosingFunc(stack), 0) {
+				pass.Reportf(seed.Pos(),
+					"seed does not derive from runner.PointSeed; use runner.RNG(seed, point) or runner.PointSeed(seed, point) so the point owns an independent reproducible stream")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// derives reports whether the expression's value flows from
+// runner.PointSeed or runner.RNG: either the subtree contains such a
+// call, or it uses a local variable assigned (possibly transitively, up
+// to a small depth) from one inside the same function.
+func derives(pass *analysis.Pass, expr ast.Expr, fn ast.Node, depth int) bool {
+	if expr == nil || depth > 8 {
+		return false
+	}
+	info := pass.TypesInfo
+	ok := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if path, name, isPkg := astq.PkgCall(info, x); isPkg &&
+				path == runnerPath && (name == "PointSeed" || name == "RNG") {
+				ok = true
+			}
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if obj == nil || fn == nil {
+				break
+			}
+			for _, rhs := range assignmentsTo(info, fn, obj) {
+				if derives(pass, rhs, fn, depth+1) {
+					ok = true
+					break
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// assignmentsTo collects right-hand sides assigned to obj within fn.
+func assignmentsTo(info *types.Info, fn ast.Node, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if astq.AssignedObject(info, lhs) == obj {
+				out = append(out, as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,15 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/seedflow"
+)
+
+func TestSeedflowFixture(t *testing.T) {
+	findings := analysistest.Run(t, seedflow.Analyzer, analysistest.TestData(t), "seedflow")
+	if len(findings) < 3 {
+		t.Fatalf("seedflow reported %d findings on the bad fixture, want >= 3", len(findings))
+	}
+}

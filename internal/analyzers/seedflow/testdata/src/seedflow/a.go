@@ -1,0 +1,46 @@
+// Package seedflowfix is a deliberately-bad fixture for the seedflow
+// analyzer: ad-hoc seeds next to the sanctioned runner.PointSeed
+// derivations.
+package seedflowfix
+
+import (
+	"math/rand"
+
+	"repro/internal/runner"
+)
+
+func literalSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `seed does not derive from runner.PointSeed`
+}
+
+func loopCounterSeed(points int) []*rand.Rand {
+	var rngs []*rand.Rand
+	for i := 0; i < points; i++ {
+		rngs = append(rngs, rand.New(rand.NewSource(int64(i)))) // want `seed does not derive from runner.PointSeed`
+	}
+	return rngs
+}
+
+func parameterSeed(seed int64) *rand.Rand {
+	// A bare parameter is not enough: the per-point derivation must be
+	// visible at the construction site.
+	return rand.New(rand.NewSource(seed)) // want `seed does not derive from runner.PointSeed`
+}
+
+func directOK(seed int64, point int) *rand.Rand {
+	return rand.New(rand.NewSource(runner.PointSeed(seed, point)))
+}
+
+func viaLocalOK(seed int64, point int) *rand.Rand {
+	s := runner.PointSeed(seed, point)
+	mixed := s ^ 0x5bf0
+	return rand.New(rand.NewSource(mixed))
+}
+
+func runnerRNGOK(seed int64, point int) *rand.Rand {
+	return runner.RNG(seed, point)
+}
+
+func suppressed() *rand.Rand {
+	return rand.New(rand.NewSource(1)) //simlint:ignore seedflow fixture exercises the directive
+}

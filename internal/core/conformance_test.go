@@ -9,34 +9,14 @@ import (
 	"repro/internal/workload"
 )
 
-// conformanceSpecs is the cross-cutting matrix: every buildable system must
-// route all pairs, be deadlock-free under its shipped routing, survive a
-// random load in the simulator with in-order delivery, and compile a
-// verifiable routing-table image.
-var conformanceSpecs = []string{
-	"fat-fract:levels=1",
-	"fat-fract:levels=2",
-	"fat-fract:levels=2,fanout",
-	"fat-fract:levels=2,populate=24",
-	"thin-fract:levels=2",
-	"thin-fract:levels=1,fanout",
-	"fat-fract:levels=2,group=3",
-	"fat-fract:levels=2,group=5",
-	"fattree:d=4,u=2,nodes=64",
-	"fattree:d=3,u=3,nodes=64",
-	"fattree:d=4,u=2,nodes=23", // trimmed
-	"tree:d=4,nodes=16",
-	"mesh:cols=4,rows=4,nodes=2",
-	"hypercube:dim=4",
-	"hypercube:dim=3,updown",
-	"ring:size=6",
-	"fullmesh:m=4",
-	"ccc:dim=3",
-	"shuffle:dim=4",
-}
-
+// The conformance matrix is the cross-cutting contract: every buildable
+// system must route all pairs, be deadlock-free under its shipped routing,
+// survive a random load in the simulator with in-order delivery, and
+// compile a verifiable routing-table image. It sweeps the same
+// BuiltinSpecs registry that `deadlockcheck -all` certifies in CI, so the
+// static and dynamic matrices cannot drift apart.
 func TestConformanceMatrix(t *testing.T) {
-	for _, spec := range conformanceSpecs {
+	for _, spec := range BuiltinSpecs() {
 		spec := spec
 		t.Run(spec, func(t *testing.T) {
 			sys, _, err := ParseSystem(spec)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -88,8 +89,15 @@ func ParseSystem(spec string) (*System, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	for k := range opts {
-		return nil, "", fmt.Errorf("core: unknown option %q in spec %q", k, spec)
+	if len(opts) > 0 {
+		// Report the alphabetically first unknown key so the error message
+		// does not depend on map iteration order.
+		var keys []string
+		for k := range opts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, "", fmt.Errorf("core: unknown option %q in spec %q", keys[0], spec)
 	}
 	return sys, sys.Net.Name, nil
 }

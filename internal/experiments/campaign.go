@@ -26,3 +26,21 @@ func observe(cfg runner.Config, label string, sys *core.System, specs []sim.Pack
 	})
 	return res, nil
 }
+
+// timed is observe's sibling for experiments that drive a sim.Sim directly
+// instead of going through core.System: it runs the simulation closure and
+// records its cost under label. This file is the nondet analyzer's
+// wall-clock allowlist — experiments must route timing through these
+// helpers so wall time can only ever reach runner.Stats accounting, never
+// a result row.
+func timed(stats *runner.Stats, label string, run func() sim.Result) sim.Result {
+	start := time.Now()
+	res := run()
+	stats.Record(runner.Stat{
+		Label:     label,
+		Cycles:    res.Cycles,
+		FlitMoves: res.FlitMoves(),
+		Wall:      time.Since(start),
+	})
+	return res
+}

@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
-	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/routing"
@@ -53,7 +51,9 @@ func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Opti
 	netX, tbX := dual.Net[fabric.X], dual.Tables[fabric.X]
 	netY, tbY := dual.Net[fabric.Y], dual.Tables[fabric.Y]
 
-	rng := rand.New(rand.NewSource(seed))
+	// The failover run is a single simulation point: point index 0 of its
+	// own seed space, per the seedflow discipline.
+	rng := runner.RNG(seed, 0)
 	specs := workload.UniformRandom(rng, netX.NumNodes(), packets, flits, faultCycle*2)
 
 	// Pick the busiest inter-router link under this routing to kill.
@@ -90,10 +90,7 @@ func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Opti
 	if err := simX.AddBatch(tbX, specs); err != nil {
 		return res, err
 	}
-	startX := time.Now()
-	resX := simX.Run()
-	cfg.Stats.Record(runner.Stat{Label: "failover fabric X", Cycles: resX.Cycles,
-		FlitMoves: resX.FlitMoves(), Wall: time.Since(startX)})
+	resX := timed(cfg.Stats, "failover fabric X", simX.Run)
 	res.DeliveredX = resX.Delivered
 	res.Dropped = resX.Dropped
 	res.XDeadlocked = resX.Deadlocked
@@ -104,10 +101,7 @@ func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Opti
 		if err := simY.AddBatch(tbY, failedOver); err != nil {
 			return res, err
 		}
-		startY := time.Now()
-		resY := simY.Run()
-		cfg.Stats.Record(runner.Stat{Label: "failover fabric Y", Cycles: resY.Cycles,
-			FlitMoves: resY.FlitMoves(), Wall: time.Since(startY)})
+		resY := timed(cfg.Stats, "failover fabric Y", simY.Run)
 		res.DeliveredY = resY.Delivered
 		res.YDeadlocked = resY.Deadlocked
 	}
