@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench sweep-bench golden clean lint vet-lint certify
+.PHONY: all build test check race bench sweep-bench golden clean lint vet-lint certify verify-fabric
 
 all: build test
 
@@ -29,10 +29,19 @@ vet-lint:
 certify:
 	$(GO) run ./cmd/deadlockcheck -all
 
+# verify-fabric runs the whole-fabric static verifier over every built-in
+# topology × routing pair: table consistency, CDG acyclicity, all-pairs
+# reachability within the analytical hop bound, exact path disables, and
+# single-fault survivability for every link and router. See README.md
+# "Static fabric verification".
+verify-fabric:
+	$(GO) run ./cmd/fabricver -all
+
 # check is the CI gate: go vet, the simlint determinism suite, the static
-# deadlock certificates, then the full test suite under the race detector
-# (the parallel experiment engine must be race-clean).
-check: lint certify
+# deadlock certificates, the whole-fabric verification matrix, then the
+# full test suite under the race detector (the parallel experiment engine
+# must be race-clean).
+check: lint certify verify-fabric
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

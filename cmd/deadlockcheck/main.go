@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deadlock"
+	"repro/internal/fabricver"
 )
 
 func main() {
@@ -85,41 +86,15 @@ func main() {
 // acyclicity. Its size (the number of ordered channels) is printed per
 // pair so a table-compilation regression that silently changes the
 // channel population shows up in CI logs.
+//
+// The walk itself lives in internal/fabricver (the whole-fabric verifier)
+// so both commands print from one implementation; fabricver adds table,
+// reachability and fault checks on top of the same core.
 func certifyAll() int {
-	specs := core.BuiltinSpecs()
-	failures := 0
-	fmt.Printf("%-34s %-22s %8s %8s %11s\n", "spec", "routing", "channels", "deps", "certificate")
-	for _, spec := range specs {
-		sys, _, err := core.ParseSystem(spec)
-		if err != nil {
-			fmt.Printf("%-34s BUILD FAILED: %v\n", spec, err)
-			failures++
-			continue
-		}
-		rep, err := deadlock.Analyze(sys.Tables)
-		if err != nil {
-			fmt.Printf("%-34s ANALYSIS FAILED: %v\n", spec, err)
-			failures++
-			continue
-		}
-		if !rep.Free {
-			fmt.Printf("%-34s %-22s DEADLOCK: %d-channel dependency cycle\n",
-				spec, rep.Algorithm, len(rep.Cycle))
-			failures++
-			continue
-		}
-		if err := deadlock.VerifyTurnEquivalence(sys.Tables); err != nil {
-			fmt.Printf("%-34s %-22s TURN MISMATCH: %v\n", spec, rep.Algorithm, err)
-			failures++
-			continue
-		}
-		fmt.Printf("%-34s %-22s %8d %8d %11d\n",
-			spec, rep.Algorithm, rep.Channels, rep.Deps, len(rep.Order))
-	}
+	rows, failures := fabricver.CertifySpecs(core.BuiltinSpecs())
+	fabricver.WriteCertifyTable(os.Stdout, rows, failures)
 	if failures > 0 {
-		fmt.Printf("=> %d of %d topology-routing pairs FAILED certification\n", failures, len(specs))
 		return 3
 	}
-	fmt.Printf("=> all %d topology-routing pairs certified deadlock-free (Dally–Seitz channel order exists; path disables match)\n", len(specs))
 	return 0
 }

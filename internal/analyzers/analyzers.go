@@ -10,6 +10,7 @@ import (
 	"repro/internal/analyzers/maporder"
 	"repro/internal/analyzers/nondet"
 	"repro/internal/analyzers/printfloat"
+	"repro/internal/analyzers/reterr"
 	"repro/internal/analyzers/seedflow"
 )
 
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		maporder.Analyzer,
 		nondet.Analyzer,
 		printfloat.Analyzer,
+		reterr.Analyzer,
 		seedflow.Analyzer,
 	}
 }

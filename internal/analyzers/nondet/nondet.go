@@ -23,6 +23,7 @@ var scope = map[string]bool{
 	"repro/internal/topology":    true,
 	"repro/internal/workload":    true,
 	"repro/internal/experiments": true,
+	"repro/internal/fabricver":   true,
 }
 
 // allowWallClock maps package path to file base names where wall-clock

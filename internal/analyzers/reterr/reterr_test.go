@@ -1,0 +1,15 @@
+package reterr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/reterr"
+)
+
+func TestReterrFixture(t *testing.T) {
+	findings := analysistest.Run(t, reterr.Analyzer, analysistest.TestData(t), "reterr")
+	if len(findings) < 5 {
+		t.Fatalf("reterr reported %d findings on the bad fixture, want >= 5", len(findings))
+	}
+}

@@ -1,0 +1,75 @@
+package fabricver
+
+import (
+	"repro/internal/topology"
+)
+
+// routerDiameter computes the diameter of the router-to-router graph (the
+// longest shortest path between any two routers, in inter-router links) by
+// breadth-first search from every router. End nodes hang off single ports
+// and never relay traffic, so they do not enter the metric.
+func routerDiameter(net *topology.Network) int {
+	routers := make([]topology.DeviceID, 0, net.NumRouters())
+	for _, d := range net.Devices() {
+		if d.Kind == topology.Router {
+			routers = append(routers, d.ID)
+		}
+	}
+	dist := make(map[topology.DeviceID]int, len(routers))
+	diameter := 0
+	for _, src := range routers {
+		for k := range dist {
+			delete(dist, k)
+		}
+		dist[src] = 0
+		queue := []topology.DeviceID{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for p := 0; p < net.Device(u).Ports; p++ {
+				l, ok := net.LinkAt(u, p)
+				if !ok {
+					continue
+				}
+				v := net.OtherEnd(l, u).Device
+				if net.Device(v).Kind != topology.Router {
+					continue
+				}
+				if _, seen := dist[v]; !seen {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+					if dist[v] > diameter {
+						diameter = dist[v]
+					}
+				}
+			}
+		}
+	}
+	return diameter
+}
+
+// minimalAlgorithms names the routing algorithms that always take a
+// shortest path through the router graph, so a route visits at most
+// diameter+1 routers. Everything else in the repository is an up-then-down
+// discipline (fractahedral, fat-tree, up*/down*, seam-avoiding rings):
+// the ascent and the descent are each at most the diameter, so a route
+// visits at most 2*diameter+1 routers. These are the analytical worst
+// cases the paper's §2 derivations give; the verifier enforces them on
+// every table walk and every end-to-end route.
+var minimalAlgorithms = map[string]bool{
+	"fullmesh":        true,
+	"mesh-xy":         true,
+	"mesh-yx":         true,
+	"hypercube-ecube": true,
+}
+
+// hopBound returns the analytical worst-case router-hop count for the
+// algorithm on a topology with the given router diameter, plus the rule
+// that produced it (recorded in the certificate so a reader can re-derive
+// the number).
+func hopBound(algorithm string, diameter int) (bound int, rule string) {
+	if minimalAlgorithms[algorithm] {
+		return diameter + 1, "minimal routing: diameter+1 routers"
+	}
+	return 2*diameter + 1, "up-then-down routing: 2*diameter+1 routers"
+}

@@ -1,0 +1,27 @@
+package fabricver
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// MarshalCertificate renders the certificate as indented JSON with a
+// trailing newline. The encoding is byte-stable: field order follows the
+// struct declaration, the certificate holds no maps, and every slice is
+// populated in a deterministic order, so equal fabrics produce equal
+// bytes on every run and worker count — the property the golden
+// certificate fixtures pin.
+func MarshalCertificate(c Certificate) ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CertFileName derives a filesystem-safe file name for a spec's
+// certificate: "fat-fract:levels=2,fanout" -> "fat-fract_levels=2_fanout.json".
+func CertFileName(spec string) string {
+	r := strings.NewReplacer(":", "_", ",", "_", "/", "_", " ", "")
+	return r.Replace(spec) + ".json"
+}

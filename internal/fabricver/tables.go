@@ -1,0 +1,107 @@
+package fabricver
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// checkTables walks every (router, destination) entry of every routing
+// table to termination, guarding against the corruption modes §2.4's
+// path-disables defend against: missing entries (-1 holes), out-of-range
+// ports, unwired ports, walks that eject into an end node that is not the
+// destination ("dead" entries), and walks that revisit a router or never
+// terminate ("looping" entries, including direct self-loops where an entry
+// routes a packet straight back). Walks must also respect the analytical
+// hop bound: a table entry no node-to-node route exercises is still part
+// of the fabric's state and must obey the same discipline.
+//
+// The walk count is routers × destinations, so every table entry is read
+// at least once from its own router — a stronger property than all-pairs
+// reachability, which only reads the entries that lie on some node route.
+func checkTables(tb *routing.Tables, bound int, violate func(check, format string, args ...any)) TableCheck {
+	net := tb.Net
+	tc := TableCheck{}
+	detail := 0
+	report := func(format string, args ...any) {
+		if detail < maxDetail {
+			violate("tables", format, args...)
+		}
+		detail++
+	}
+
+	nNodes := net.NumNodes()
+	for _, dev := range net.Devices() {
+		if dev.Kind != topology.Router {
+			continue
+		}
+		tc.Routers++
+		for dst := 0; dst < nNodes; dst++ {
+			tc.Entries++
+			dstName := net.Device(net.NodeByIndex(dst)).Name
+			dstDev := net.NodeByIndex(dst)
+			hops := 0
+			cur := dev.ID
+			visited := map[topology.DeviceID]bool{}
+			var path []string
+			terminated := false
+			for {
+				if visited[cur] {
+					tc.Loops++
+					report("entry (%s, %s): walk revisits %s (self-looping entry; path %v)",
+						dev.Name, dstName, net.Device(cur).Name, path)
+					break
+				}
+				visited[cur] = true
+				path = append(path, net.Device(cur).Name)
+				hops++
+				port := tb.OutPort(cur, dst)
+				if port < 0 {
+					tc.Dead++
+					report("entry (%s, %s): table hole at %s (no entry for the destination)",
+						dev.Name, dstName, net.Device(cur).Name)
+					break
+				}
+				if port >= net.Device(cur).Ports {
+					tc.Dead++
+					report("entry (%s, %s): %s routes out port %d but has only %d ports",
+						dev.Name, dstName, net.Device(cur).Name, port, net.Device(cur).Ports)
+					break
+				}
+				ch, wired := net.ChannelFromPort(cur, port)
+				if !wired {
+					tc.Dead++
+					report("entry (%s, %s): %s port %d is unwired (dead entry)",
+						dev.Name, dstName, net.Device(cur).Name, port)
+					break
+				}
+				next := net.ChannelDst(ch).Device
+				if net.Device(next).Kind == topology.Node {
+					if next == dstDev {
+						terminated = true // ejected at the destination
+					} else {
+						tc.Dead++
+						report("entry (%s, %s): walk ejects into wrong end node %s (dead entry)",
+							dev.Name, dstName, net.Device(next).Name)
+					}
+					break
+				}
+				cur = next
+			}
+			if !terminated {
+				continue
+			}
+			if hops > tc.MaxWalk {
+				tc.MaxWalk = hops
+			}
+			if hops > bound {
+				report("entry (%s, %s): walk visits %d routers, exceeding the analytical bound %d (path %v)",
+					dev.Name, dstName, hops, bound, path)
+			}
+		}
+	}
+	if detail > maxDetail {
+		violate("tables", "table consistency:%s", capNote(detail))
+	}
+	tc.OK = detail == 0
+	return tc
+}

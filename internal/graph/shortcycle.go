@@ -1,0 +1,87 @@
+package graph
+
+// ShortestCycle returns a minimum-length directed cycle of the graph as a
+// vertex sequence v0, v1, ..., vk (with edges vi -> vi+1 and vk -> v0), or
+// nil, false when the graph is acyclic. Among equal-length cycles the one
+// whose smallest starting vertex is lowest is returned, so the result is
+// deterministic — the fabric verifier prints it as the minimal
+// counterexample to a deadlock-freedom claim.
+//
+// The search runs one breadth-first traversal per vertex, restricted to
+// that vertex's strongly connected component (a cycle never leaves its
+// SCC), so the cost is O(V·E) only over the cyclic part of the graph; for
+// an acyclic graph the SCC pass alone decides the answer.
+func (g *Digraph) ShortestCycle() (cycle []int, ok bool) {
+	n := g.N()
+	comp, count := g.SCC()
+	size := make([]int, count)
+	for _, c := range comp {
+		size[c]++
+	}
+
+	// Self-loops are cycles of length one and always minimal.
+	for v := 0; v < n; v++ {
+		for _, w := range g.adj[v] {
+			if w == v {
+				return []int{v}, true
+			}
+		}
+	}
+
+	dist := make([]int, n)
+	parent := make([]int, n)
+	stamp := make([]int, n) // visited marker, keyed by source to skip clearing
+	for i := range stamp {
+		stamp[i] = -1
+	}
+
+	var best []int
+	for v := 0; v < n; v++ {
+		if size[comp[v]] < 2 {
+			continue // a singleton SCC without a self-loop is acyclic
+		}
+		if best != nil && len(best) == 2 {
+			break // nothing shorter exists (self-loops were handled above)
+		}
+		// BFS from v inside its SCC; the first edge back to v closes the
+		// shortest cycle through v.
+		queue := []int{v}
+		dist[v], parent[v], stamp[v] = 0, -1, v
+		found := -1
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if best != nil && dist[u]+1 >= len(best) {
+				break // any cycle through v from here is no improvement
+			}
+			for _, w := range g.adj[u] {
+				if comp[w] != comp[v] {
+					continue
+				}
+				if w == v {
+					found = u
+					break bfs
+				}
+				if stamp[w] != v {
+					stamp[w] = v
+					dist[w] = dist[u] + 1
+					parent[w] = u
+					queue = append(queue, w)
+				}
+			}
+		}
+		if found < 0 {
+			continue
+		}
+		c := make([]int, 0, dist[found]+1)
+		for u := found; u != -1; u = parent[u] {
+			c = append(c, u)
+		}
+		reverse(c) // v first, then the path toward the closing edge
+		if best == nil || len(c) < len(best) {
+			best = c
+		}
+	}
+	return best, best != nil
+}

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShortestCycleAcyclic(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	if cycle, ok := g.ShortestCycle(); ok {
+		t.Fatalf("acyclic graph reported cycle %v", cycle)
+	}
+}
+
+func TestShortestCycleSelfLoop(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0) // 3-cycle
+	g.AddEdge(2, 2) // but the self-loop is shorter
+	cycle, ok := g.ShortestCycle()
+	if !ok || !reflect.DeepEqual(cycle, []int{2}) {
+		t.Fatalf("ShortestCycle = %v, %v; want [2], true", cycle, ok)
+	}
+}
+
+func TestShortestCyclePicksMinimal(t *testing.T) {
+	// A 4-cycle 0->1->2->3->0 with a chord 2->0 creating a 3-cycle
+	// 0->1->2->0, and a distant 2-cycle 5<->6 that must win.
+	g := NewDigraph(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	g.AddEdge(2, 0)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 5)
+	cycle, ok := g.ShortestCycle()
+	if !ok || !reflect.DeepEqual(cycle, []int{5, 6}) {
+		t.Fatalf("ShortestCycle = %v, %v; want [5 6], true", cycle, ok)
+	}
+}
+
+func TestShortestCycleDeterministicStart(t *testing.T) {
+	// Two disjoint 3-cycles; the one containing the lowest vertex wins.
+	g := NewDigraph(8)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 4)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	cycle, ok := g.ShortestCycle()
+	if !ok || !reflect.DeepEqual(cycle, []int{1, 2, 3}) {
+		t.Fatalf("ShortestCycle = %v, %v; want [1 2 3], true", cycle, ok)
+	}
+}

@@ -50,8 +50,17 @@ func FromTables(t *routing.Tables) (*Disables, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Disables{net: t.Net, allowed: make(map[topology.DeviceID][][]bool)}
-	for _, dev := range t.Net.Devices() {
+	return FromTurns(t.Net, turns), nil
+}
+
+// FromTurns builds the disable configuration enabling exactly the given
+// per-router turn sets. Callers that already swept every route (the fabric
+// verifier's fault enumeration, which collects turns and dependency edges
+// in one pass) use it to recompute path-disables for a degraded fabric
+// without routing all pairs a second time.
+func FromTurns(net *topology.Network, turns map[topology.DeviceID]map[routing.Turn]bool) *Disables {
+	d := &Disables{net: net, allowed: make(map[topology.DeviceID][][]bool)}
+	for _, dev := range net.Devices() {
 		if dev.Kind != topology.Router {
 			continue
 		}
@@ -61,7 +70,7 @@ func FromTables(t *routing.Tables) (*Disables, error) {
 		}
 		d.allowed[dev.ID] = m
 	}
-	return d, nil
+	return d
 }
 
 // Allowed reports whether the turn in -> out is enabled at router dev. End

@@ -140,6 +140,33 @@ func (t *Tables) Route(src, dst int) (Route, error) {
 	}
 }
 
+// Next performs a single step of the walk Route performs: the channel (and
+// virtual channel) a packet at dev takes toward destination address dst.
+// Destination-indexed routing makes the step a function of (dev, dst)
+// alone — no source, no history — which is what lets whole-fabric sweeps
+// memoize walks per destination instead of re-walking every source (see
+// internal/fabricver). End nodes inject on their only port; routers consult
+// their table. Unlike Route, Next rejects out-of-range ports with an error
+// instead of panicking, so it is safe on arbitrarily corrupted tables.
+func (t *Tables) Next(dev topology.DeviceID, dst int) (topology.ChannelID, int, error) {
+	port := 0
+	d := t.Net.Device(dev)
+	if d.Kind == topology.Router {
+		port = t.OutPort(dev, dst)
+		if port < 0 {
+			return -1, 0, fmt.Errorf("no table entry at %s for destination %d", d.Name, dst)
+		}
+		if port >= d.Ports {
+			return -1, 0, fmt.Errorf("%s routes out port %d but has only %d ports", d.Name, port, d.Ports)
+		}
+	}
+	ch, ok := t.Net.ChannelFromPort(dev, port)
+	if !ok {
+		return -1, 0, fmt.Errorf("%s port %d unwired (destination %d)", d.Name, port, dst)
+	}
+	return ch, t.vcAt(dev, dst), nil
+}
+
 // AllRoutes returns routes for every ordered pair of distinct node
 // addresses.
 func (t *Tables) AllRoutes() ([]Route, error) {

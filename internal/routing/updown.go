@@ -28,8 +28,15 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 		panic(fmt.Sprintf("routing: up*/down* root %d is not a router", root))
 	}
 
-	// Breadth-first levels over routers only.
-	level := make(map[topology.DeviceID]int)
+	// Breadth-first levels over routers only. Dense device-indexed slices
+	// throughout: the fabric verifier rebuilds these tables once per fault
+	// inside its single-fault enumeration, so the per-destination loops are
+	// hot. level < 0 marks "not a (reached) router".
+	nDev := net.NumDevices()
+	level := make([]int, nDev)
+	for i := range level {
+		level[i] = -1
+	}
 	level[root] = 0
 	queue := []topology.DeviceID{root}
 	for len(queue) > 0 {
@@ -44,7 +51,7 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 			if net.Device(v).Kind != topology.Router {
 				continue
 			}
-			if _, seen := level[v]; !seen {
+			if level[v] < 0 {
 				level[v] = level[u] + 1
 				queue = append(queue, v)
 			}
@@ -60,9 +67,11 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 		return v < u
 	}
 
-	routers := make([]topology.DeviceID, 0, len(level))
-	for r := range level {
-		routers = append(routers, r)
+	var routers []topology.DeviceID
+	for d := topology.DeviceID(0); int(d) < nDev; d++ {
+		if level[d] >= 0 {
+			routers = append(routers, d)
+		}
 	}
 	// Order from the root outward (the order down-distances propagate in,
 	// and the reverse order for up-distances).
@@ -72,26 +81,24 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 		dist int
 		port int
 	}
-	const inf = int(^uint(0) >> 1)
 
 	// Per destination node, compute for every router the best pure-down
 	// distance and the best up*/down* distance with consistent next hops.
+	// hop.dist == 0 marks "no such path yet" (real distances start at 1).
 	nNodes := net.NumNodes()
-	downPort := make(map[topology.DeviceID][]int)
-	upPort := make(map[topology.DeviceID][]int)
+	downPort := make([][]int, nDev)
+	upPort := make([][]int, nDev)
 	for _, r := range routers {
 		downPort[r] = make([]int, nNodes)
 		upPort[r] = make([]int, nNodes)
 	}
 
-	down := make(map[topology.DeviceID]hop)
-	up := make(map[topology.DeviceID]hop)
+	down := make([]hop, nDev)
+	up := make([]hop, nDev)
 	for dst := 0; dst < nNodes; dst++ {
-		for k := range down {
-			delete(down, k)
-		}
-		for k := range up {
-			delete(up, k)
+		for _, r := range routers {
+			down[r] = hop{}
+			up[r] = hop{}
 		}
 		dstDev := net.NodeByIndex(dst)
 		l, wired := net.LinkAt(dstDev, 0)
@@ -111,10 +118,7 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 		// order (deepest first).
 		for i := len(routers) - 1; i >= 0; i-- {
 			u := routers[i]
-			best, ok := down[u], false
-			if _, have := down[u]; have {
-				ok = true
-			}
+			best := down[u]
 			for p := 0; p < net.Device(u).Ports; p++ {
 				l, wired := net.LinkAt(u, p)
 				if !wired {
@@ -124,14 +128,13 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 				if net.Device(v).Kind != topology.Router || higher(v, u) {
 					continue // only true down steps
 				}
-				if hv, have := down[v]; have {
-					if !ok || hv.dist+1 < best.dist {
+				if hv := down[v]; hv.dist > 0 {
+					if best.dist == 0 || hv.dist+1 < best.dist {
 						best = hop{dist: hv.dist + 1, port: p}
-						ok = true
 					}
 				}
 			}
-			if ok {
+			if best.dist > 0 {
 				down[u] = best
 			}
 		}
@@ -139,11 +142,7 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 		// neighbor's best. Process from the root outward so up[parent] is
 		// final before children consult it.
 		for _, u := range routers {
-			var best hop
-			ok := false
-			if h, have := down[u]; have {
-				best, ok = h, true
-			}
+			best := down[u]
 			for p := 0; p < net.Device(u).Ports; p++ {
 				l, wired := net.LinkAt(u, p)
 				if !wired {
@@ -153,20 +152,19 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 				if net.Device(v).Kind != topology.Router || !higher(v, u) {
 					continue // only true up steps
 				}
-				if hv, have := up[v]; have {
-					if !ok || hv.dist+1 < best.dist {
+				if hv := up[v]; hv.dist > 0 {
+					if best.dist == 0 || hv.dist+1 < best.dist {
 						best = hop{dist: hv.dist + 1, port: p}
-						ok = true
 					}
 				}
 			}
-			if !ok {
+			if best.dist == 0 {
 				panic(fmt.Sprintf("routing: up*/down* cannot reach node %d from router %d (disconnected?)", dst, u))
 			}
 			up[u] = best
 		}
 		for _, u := range routers {
-			if h, have := down[u]; have {
+			if h := down[u]; h.dist > 0 {
 				downPort[u][dst] = h.port
 			} else {
 				downPort[u][dst] = -1
