@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench sweep-bench golden clean lint vet-lint certify verify-fabric
+.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint certify verify-fabric
 
 all: build test
 
@@ -38,18 +38,30 @@ verify-fabric:
 	$(GO) run ./cmd/fabricver -all
 
 # check is the CI gate: go vet, the simlint determinism suite, the static
-# deadlock certificates, the whole-fabric verification matrix, then the
-# full test suite under the race detector (the parallel experiment engine
-# must be race-clean).
+# deadlock certificates, the whole-fabric verification matrix, the full
+# test suite under the race detector (the parallel experiment engine must
+# be race-clean), and one pass over every benchmark so a broken benchmark
+# cannot land silently.
 check: lint certify verify-fabric
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-smoke
 
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-smoke runs every benchmark exactly once — a correctness pass (each
+# benchmark validates its headline numbers), not a timing pass.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# bench-json regenerates the committed benchmark baseline from a real
+# timing run; review the diff like any golden file.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_SIM.json
 
 # sweep-bench times the same sweep grid with 1 and 4 workers; rows are
 # bit-identical, only wall clock differs (needs >1 CPU to show a speedup).

@@ -311,6 +311,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFract3SimulatorLoad measures the raw engine on the 512-node
+// 3-level fat fractahedron under a steady uniform load — the
+// simulator-only counterpart of BenchmarkLargeSim, isolating per-cycle
+// engine cost from the experiment runner and the sweep grid.
+func BenchmarkFract3SimulatorLoad(b *testing.B) {
+	sys, _, err := core.NewFatFractahedron(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := sys.Net.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(11))
+		specs := workload.UniformRandom(rng, nodes, 2000, 8, 1500)
+		res, err := sys.Simulate(specs, sim.Config{FIFODepth: 4})
+		if err != nil || res.Deadlocked || res.Delivered != 2000 {
+			b.Fatalf("err=%v deadlocked=%v delivered=%d", err, res.Deadlocked, res.Delivered)
+		}
+	}
+}
+
 // BenchmarkDisablesFromTables measures the path-disable derivation of §2.4.
 func BenchmarkDisablesFromTables(b *testing.B) {
 	f := topology.NewFractahedron(topology.Tetra(2, true))

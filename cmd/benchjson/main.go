@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output into the JSON
+// benchmark-trajectory format committed as BENCH_*.json at the repo root.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_SIM.json
+//
+// Every benchmark line becomes one record; the goos/goarch/cpu header is
+// carried along so baselines from different machines are distinguishable.
+// Lines that are not benchmark results (PASS, ok, test log output) pass
+// through to stderr unchanged, so the command can sit at the end of a
+// pipeline without eating failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark measurement. BytesPerOp/AllocsPerOp are present
+// only when the run used -benchmem.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int    `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int    `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkSimulationSweep-4  2  155901234 ns/op  44671600 B/op  446716 allocs/op
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := report{Benchmarks: []record{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad ns/op in %q: %v\n", line, err)
+				os.Exit(1)
+			}
+			iters, err := strconv.Atoi(m[2])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad iteration count in %q: %v\n", line, err)
+				os.Exit(1)
+			}
+			r := record{Name: m[1], Iterations: iters, NsPerOp: ns}
+			if m[4] != "" {
+				b, _ := strconv.Atoi(m[4])
+				a, _ := strconv.Atoi(m[5])
+				r.BytesPerOp, r.AllocsPerOp = &b, &a
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if line != "" {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@
 //	netsim -spec fattree:d=4,u=2,nodes=64 -pattern bernoulli -rate 0.02 -cycles 5000
 //	netsim -spec fat-fract:levels=2 -pattern db
 //	netsim -spec fat-fract:levels=2 -pattern bernoulli -rate 0.02 -runs 8 -workers 4
+//	netsim -spec fat-fract:levels=2 -fail-link 12 -fail-cycle 100
 //
 // With -runs N > 1 the same configuration executes N times over a worker
 // pool, run i drawing its workload from the seed derived from (-seed, i);
@@ -25,8 +26,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/router"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -43,6 +46,8 @@ func main() {
 	timeout := flag.Int("timeout", 0, "enable timeout/discard/retry recovery after this many stalled cycles")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	unrestricted := flag.Bool("unrestricted", false, "disable path-disable enforcement")
+	failLink := flag.Int("fail-link", -1, "link ID to fail mid-run (-1 = none; see fractagen for link IDs)")
+	failCycle := flag.Int("fail-cycle", 0, "cycle at which -fail-link dies")
 	runs := flag.Int("runs", 1, "independent runs; run i derives its seed from (-seed, i)")
 	workers := flag.Int("workers", 0, "worker-pool size for -runs fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -77,10 +82,20 @@ func main() {
 
 	cfg := sim.Config{FIFODepth: *fifo, VirtualChannels: *vcs, LinkLatency: *linkLat, TimeoutCycles: *timeout, DeadlockThreshold: 2000}
 	simulate := func(specs []sim.PacketSpec) (sim.Result, error) {
+		dis := sys.Disables
 		if *unrestricted {
-			return sys.SimulateUnrestricted(specs, cfg)
+			dis = router.AllowAll(sys.Net)
 		}
-		return sys.Simulate(specs, cfg)
+		sm := sim.New(sys.Net, dis, cfg)
+		if *failLink >= 0 {
+			if err := sm.ScheduleFault(sim.LinkFault{Cycle: *failCycle, Link: topology.LinkID(*failLink)}); err != nil {
+				return sim.Result{}, err
+			}
+		}
+		if err := sm.AddBatch(sys.Tables, specs); err != nil {
+			return sim.Result{}, err
+		}
+		return sm.Run(), nil
 	}
 
 	if *runs <= 1 {

@@ -86,7 +86,9 @@ func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Opti
 			Src: spec.Src, Dst: spec.Dst, Flits: spec.Flits, InjectCycle: 0,
 		})
 	})
-	simX.ScheduleFault(sim.LinkFault{Cycle: faultCycle, Link: victim})
+	if err := simX.ScheduleFault(sim.LinkFault{Cycle: faultCycle, Link: victim}); err != nil {
+		return res, err
+	}
 	if err := simX.AddBatch(tbX, specs); err != nil {
 		return res, err
 	}

@@ -83,6 +83,20 @@ func (d *Disables) Allowed(dev topology.DeviceID, in, out int) bool {
 	return m[in][out]
 }
 
+// Row returns the permission row for one input port of a router: Row(dev,
+// in)[out] == Allowed(dev, in, out). The slice aliases the live matrix, so
+// later Enable/Disable calls remain visible through it — which is what lets
+// the simulator hoist the map lookup out of its per-cycle hot path without
+// caching stale permissions. Queries against non-routers panic, as Allowed
+// does.
+func (d *Disables) Row(dev topology.DeviceID, in int) []bool {
+	m, ok := d.allowed[dev]
+	if !ok {
+		panic(fmt.Sprintf("router: device %d has no disable matrix (not a router?)", dev))
+	}
+	return m[in]
+}
+
 // Disable turns off a specific turn, modeling an operator-configured
 // restriction (the unidirectional arrow disables of Figure 2).
 func (d *Disables) Disable(dev topology.DeviceID, in, out int) {

@@ -1,0 +1,171 @@
+package sim
+
+// Per-output-port crossbar arbitration on reusable scratch state. The old
+// implementation built a map of request slices every cycle and sorted both
+// the map keys and each slice; this version classifies each request online
+// into four slots per port as candidates arrive in ascending buffer-key
+// order, which is all the old sort ever computed:
+//
+//   - contMin / hdrMin:   the lowest-keyed continuing / header request —
+//     the old sorted class's first element;
+//   - contNext / hdrNext: the lowest-keyed request above the round-robin
+//     pointer — the old "first with from > last" pick.
+//
+// Continuing worms outrank new headers so body flits are not starved
+// mid-worm, and the grant updates the port's round-robin pointer exactly as
+// before. Ports are identified by a global (device, port)-ordered index, so
+// sorting the touched ports reproduces the old sorted-physKey grant
+// emission order byte for byte.
+
+import "slices"
+
+type arbSlot struct{ from, to int32 }
+
+// arbPort is one output port's per-cycle request state. stamp lazily
+// resets the slots: a port whose stamp is stale has no requests this cycle.
+type arbPort struct {
+	stamp    int64
+	contMin  arbSlot
+	contNext arbSlot
+	hdrMin   arbSlot
+	hdrNext  arbSlot
+}
+
+type move struct {
+	from int // buffer key; -1 == injection from the source node
+	to   int // buffer key
+	src  int // injecting node when from == -1
+}
+
+// planMoves selects at most one flit movement per physical output port (and
+// per injection channel) based on start-of-cycle state. It visits only
+// non-empty buffers, records the earliest future InjectCycle among blocked
+// queue fronts (for idle-cycle fast-forwarding), and allocates nothing on
+// the steady-state path.
+func (s *Simulator) planMoves(now int) []move {
+	moves := s.moves[:0]
+	v := s.cfg.VirtualChannels
+
+	slices.Sort(s.activeBufs)
+	for i, k := range s.activeBufs {
+		s.activePos[k] = int32(i)
+	}
+
+	s.arbStamp++
+	s.arbTouched = s.arbTouched[:0]
+	for _, k32 := range s.activeBufs {
+		key := int(k32)
+		f := &s.bufFlits[key*s.depth+int(s.bufHead[key])]
+		p := f.pkt
+		if p.dropped {
+			continue // reaped separately
+		}
+		next := p.route[f.hop+1]
+		nextVC := 0
+		if p.vcs != nil {
+			nextVC = p.vcs[f.hop+1]
+		}
+		if f.idx == 0 && !s.chAllowed[key/v][s.chSrcPort[next]] {
+			// Path-disable logic rejects the turn: the packet is
+			// discarded (ServerNet raises a transmission error).
+			p.dropped = true
+			s.markDropped(p)
+			continue
+		}
+		if s.deadLink[s.chLink[next]] {
+			// The worm is aimed at a failed link: the hardware kills it.
+			p.dropped = true
+			s.markDropped(p)
+			continue
+		}
+		nextKey := int(next)*v + nextVC
+		if !s.space(nextKey) {
+			continue
+		}
+		// Ownership of the output VC — which is the destination buffer key
+		// itself, every wired port driving exactly one outgoing channel —
+		// decides whether this is a continuing worm or a new header.
+		var continuing bool
+		switch own := s.owner[nextKey]; {
+		case own == int32(p.id):
+			continuing = true
+		case own < 0 && f.idx == 0:
+			continuing = false
+		default:
+			continue
+		}
+		port := s.chOutPort[next]
+		a := &s.arb[port]
+		if a.stamp != s.arbStamp {
+			a.stamp = s.arbStamp
+			a.contMin.from, a.contNext.from = -1, -1
+			a.hdrMin.from, a.hdrNext.from = -1, -1
+			s.arbTouched = append(s.arbTouched, port)
+		}
+		slot := arbSlot{from: k32, to: int32(nextKey)}
+		if continuing {
+			if a.contMin.from < 0 {
+				a.contMin = slot
+			}
+			if a.contNext.from < 0 && k32 > s.arbLast[port] {
+				a.contNext = slot
+			}
+		} else {
+			if a.hdrMin.from < 0 {
+				a.hdrMin = slot
+			}
+			if a.hdrNext.from < 0 && k32 > s.arbLast[port] {
+				a.hdrNext = slot
+			}
+		}
+	}
+	slices.Sort(s.arbTouched)
+	for _, port := range s.arbTouched {
+		a := &s.arb[port]
+		var g arbSlot
+		if a.contMin.from >= 0 {
+			g = a.contMin
+			if a.contNext.from >= 0 {
+				g = a.contNext
+			}
+		} else {
+			g = a.hdrMin
+			if a.hdrNext.from >= 0 {
+				g = a.hdrNext
+			}
+		}
+		s.arbLast[port] = g.from
+		moves = append(moves, move{from: int(g.from), to: int(g.to)})
+	}
+
+	// Injection: one flit per source node with a pending packet. Node
+	// addresses ascend, so no sort is needed to reproduce the old sorted
+	// source iteration.
+	s.nextInject = s.cfg.MaxCycles
+	for src, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		p := q[0]
+		if p.spec.InjectCycle > now {
+			if p.spec.InjectCycle < s.nextInject {
+				s.nextInject = p.spec.InjectCycle
+			}
+			continue
+		}
+		if p.dropped {
+			continue
+		}
+		if s.deadLink[s.chLink[p.route[0]]] {
+			p.dropped = true
+			s.markDropped(p)
+			continue
+		}
+		injKey := int(p.route[0])*v + p.vcAt(0)
+		if s.space(injKey) {
+			moves = append(moves, move{from: -1, to: injKey, src: src})
+		}
+	}
+	s.moves = moves
+	return moves
+}

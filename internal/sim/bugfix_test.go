@@ -1,0 +1,220 @@
+package sim_test
+
+// Regression tests for the four bugs fixed alongside the indexed-state
+// rewrite. Where a bug's old behavior is still observable, the test drives
+// the preserved reference implementation (internal/sim/simref, which keeps
+// the old timeout and idle semantics) through the same scenario and pins
+// the divergence — failing-before, passing-after, in one file.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/sim/simref"
+	"repro/internal/topology"
+)
+
+// With slow links the header spends most of its life mid-wire, where the
+// old headInNetwork buffer scan could not see it: the stall clock froze and
+// the timeout never fired. The fixed engine ticks whenever the header fails
+// to cross a channel, so the same wedged-looking worm times out, burns its
+// retries (each attempt stalls mid-wire again), and drops.
+func TestTimeoutCoversHeaderMidWire(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	cfg := sim.Config{FIFODepth: 1, LinkLatency: 6, TimeoutCycles: 4, MaxRetries: 1}
+	specs := []sim.PacketSpec{{Src: 0, Dst: 9, Flits: 2}}
+
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), cfg)
+	if err := s.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Dropped != 1 || res.Delivered != 0 {
+		t.Fatalf("fixed engine: delivered=%d dropped=%d, want timeout drop (0/1)",
+			res.Delivered, res.Dropped)
+	}
+	if res.Retries != 1 {
+		t.Fatalf("fixed engine: retries=%d, want 1 (every attempt stalls mid-wire)", res.Retries)
+	}
+
+	// The old semantics deliver this packet: its 6-cycle wire flights hide
+	// the header from the buffer scan, so stall never reaches the threshold.
+	o := simref.New(fm.Network, router.AllowAll(fm.Network), cfg)
+	if err := o.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	ores := o.Run()
+	if ores.Delivered != 1 || ores.Dropped != 0 {
+		t.Fatalf("reference engine: delivered=%d dropped=%d — the old blind spot "+
+			"closed, update this regression test", ores.Delivered, ores.Dropped)
+	}
+}
+
+// A link fault that strands a worm's tail mid-route must resolve promptly:
+// the flit at the buffer head aiming at the dead link is discarded, the
+// worm's remaining flits drain, and the packet retires as a fault drop —
+// no retry (the hardware kills the worm outright), no timeout
+// misattribution, no hang until MaxCycles.
+func TestFaultStrandsTailCleanup(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	link, ok := fm.LinkAt(fm.Routers[0], 0)
+	if !ok {
+		t.Fatal("no inter-router link")
+	}
+	// Timeouts armed so the test also proves the fault path does not leak
+	// into the retry machinery.
+	cfg := sim.Config{FIFODepth: 2, TimeoutCycles: 50, MaxRetries: 3}
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), cfg)
+	if err := s.AddBatch(tb, []sim.PacketSpec{{Src: 0, Dst: 9, Flits: 40}}); err != nil {
+		t.Fatal(err)
+	}
+	// The header ejects from cycle 3 on; the tail is still queueing at the
+	// source when the inter-router link dies under the worm.
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 8, Link: link}); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Dropped != 1 || res.Delivered != 0 {
+		t.Fatalf("delivered=%d dropped=%d, want 0/1", res.Delivered, res.Dropped)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("retries=%d: a fault kill must not be retried", res.Retries)
+	}
+	if res.Deadlocked {
+		t.Fatal("stranded tail reported as deadlock")
+	}
+	if res.Cycles > 100 {
+		t.Fatalf("cleanup took %d cycles — stranded flits were not reaped promptly", res.Cycles)
+	}
+	if res.ThroughputFPC == 0 {
+		t.Fatal("no flits ejected before the fault; the scenario lost its mid-worm timing")
+	}
+}
+
+// Flits in flight on a long wire are progress. The old idle counter only
+// saw buffer-to-buffer moves and landings, so a quiet stretch while flits
+// crossed an 8-cycle wire tripped a DeadlockThreshold of 4 — a false
+// deadlock on a healthy network.
+func TestLongLinkNoFalseDeadlock(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	cfg := sim.Config{FIFODepth: 2, LinkLatency: 8, DeadlockThreshold: 4}
+	specs := []sim.PacketSpec{{Src: 0, Dst: 9, Flits: 4}}
+
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), cfg)
+	if err := s.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Deadlocked {
+		t.Fatalf("false deadlock at cycle %d with flits mid-wire", res.Cycles)
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("delivered=%d, want 1", res.Delivered)
+	}
+
+	// The old idle accounting declares deadlock here.
+	o := simref.New(fm.Network, router.AllowAll(fm.Network), cfg)
+	if err := o.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	if ores := o.Run(); !ores.Deadlocked {
+		t.Fatalf("reference engine delivered (%+v) — the old false-deadlock "+
+			"behavior is gone, update this regression test", ores)
+	}
+}
+
+// End-to-end percentile check: latencies collected through the delivery
+// hook, sorted, and indexed by the nearest-rank rule must match the
+// Result's P50/P99 exactly.
+func TestPercentilesMatchCollectedLatencies(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	tb := routing.FullMesh(fm)
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), sim.Config{})
+	var lats []int
+	s.OnDelivered(func(spec sim.PacketSpec, now int) {
+		lats = append(lats, now-spec.InjectCycle)
+	})
+	// One source streaming to one sink serializes on the shared path, so
+	// the ten latencies are distinct and the rank choice is unambiguous.
+	for i := 0; i < 10; i++ {
+		if err := s.AddBatch(tb, []sim.PacketSpec{{Src: 0, Dst: 9, Flits: 4}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Run()
+	if res.Delivered != 10 || len(lats) != 10 {
+		t.Fatalf("delivered=%d hooks=%d, want 10/10", res.Delivered, len(lats))
+	}
+	sort.Ints(lats)
+	rank := func(q int) int { return lats[(q*len(lats)+99)/100-1] }
+	if res.P50Latency != rank(50) {
+		t.Errorf("P50 = %d, want %d (5th smallest of %v)", res.P50Latency, rank(50), lats)
+	}
+	if res.P99Latency != rank(99) {
+		t.Errorf("P99 = %d, want %d (10th smallest of %v)", res.P99Latency, rank(99), lats)
+	}
+}
+
+// ScheduleFault rejects faults outside the simulation horizon or the
+// link-ID space instead of silently never firing them.
+func TestScheduleFaultValidation(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), sim.Config{MaxCycles: 100})
+	bad := []sim.LinkFault{
+		{Cycle: -1, Link: 0},
+		{Cycle: 100, Link: 0}, // at MaxCycles: can never fire
+		{Cycle: 0, Link: -1},
+		{Cycle: 0, Link: topology.LinkID(fm.NumLinks())},
+	}
+	for _, f := range bad {
+		if err := s.ScheduleFault(f); err == nil {
+			t.Errorf("ScheduleFault(%+v) accepted", f)
+		}
+	}
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 99, Link: 0}); err != nil {
+		t.Errorf("last in-horizon cycle rejected: %v", err)
+	}
+}
+
+// Faults scheduled out of cycle order fire in cycle order: the run walks a
+// sorted fault list with a cursor, so the later-scheduled-but-earlier
+// fault must not be skipped.
+func TestScheduleFaultOutOfOrder(t *testing.T) {
+	fm := topology.NewFullMesh(3, 6)
+	tb := routing.FullMesh(fm)
+	la, ok := fm.LinkAt(fm.Routers[0], 0)
+	if !ok {
+		t.Fatal("router 0 port 0 unwired")
+	}
+	lb, ok := fm.LinkAt(fm.Routers[0], 1)
+	if !ok {
+		t.Fatal("router 0 port 1 unwired")
+	}
+	s := sim.New(fm.Network, router.AllowAll(fm.Network), sim.Config{})
+	// Later cycle scheduled first.
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 5, Link: la}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 2, Link: lb}); err != nil {
+		t.Fatal(err)
+	}
+	// After cycle 5 both of router 0's inter-router cables are dead: its
+	// nodes' cross-router traffic dies, other routers' traffic survives.
+	if err := s.AddBatch(tb, []sim.PacketSpec{
+		{Src: 0, Dst: 5, Flits: 2, InjectCycle: 6},
+		{Src: 0, Dst: 9, Flits: 2, InjectCycle: 6},
+		{Src: 4, Dst: 8, Flits: 2, InjectCycle: 6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Dropped != 2 || res.Delivered != 1 {
+		t.Fatalf("delivered=%d dropped=%d, want 1/2", res.Delivered, res.Dropped)
+	}
+}

@@ -38,16 +38,15 @@ func TestReleaseOnlyOwnedKeys(t *testing.T) {
 	fm := topology.NewFullMesh(2, 6)
 	s := New(fm.Network, router.AllowAll(fm.Network), Config{})
 	p := &packet{id: 7}
-	k1 := vcPortKey{dev: fm.Routers[0], port: 0, vc: 0}
-	k2 := vcPortKey{dev: fm.Routers[0], port: 1, vc: 0}
+	k1, k2 := int32(3), int32(5)
 	s.owner[k1] = 7
 	s.owner[k2] = 7
-	p.owned = []vcPortKey{k1, k2}
+	p.owned = []int32{k1, k2}
 	s.release(p, k1)
-	if _, held := s.owner[k1]; held {
+	if s.owner[k1] != -1 {
 		t.Error("k1 not released")
 	}
-	if _, held := s.owner[k2]; !held {
+	if s.owner[k2] != 7 {
 		t.Error("k2 released prematurely")
 	}
 	if len(p.owned) != 1 || p.owned[0] != k2 {
@@ -99,6 +98,71 @@ func TestWithDefaults(t *testing.T) {
 	if c2.FIFODepth != 9 || c2.VirtualChannels != 2 || c2.MaxCycles != 5 ||
 		c2.DeadlockThreshold != 7 || c2.MaxRetries != 1 {
 		t.Errorf("explicit values clobbered: %+v", c2)
+	}
+}
+
+// nearestRank must pick the ceil(q*n/100)-th smallest sample for every n,
+// including the small-n and just-past-a-boundary cases the old
+// int(float64(n)*q/100) truncation got wrong (P99 of 100 samples used to
+// return the maximum).
+func TestNearestRankExact(t *testing.T) {
+	cases := []struct{ q, n, want int }{
+		{50, 1, 0}, {99, 1, 0},
+		{50, 2, 0}, {99, 2, 1},
+		{50, 10, 4}, {99, 10, 9},
+		{50, 100, 49}, {99, 100, 98},
+		{50, 101, 50}, {99, 101, 99},
+	}
+	for _, c := range cases {
+		if got := nearestRank(c.q, c.n); got != c.want {
+			t.Errorf("nearestRank(%d, %d) = %d, want %d", c.q, c.n, got, c.want)
+		}
+	}
+}
+
+// The timeout clock ticks whenever the header failed to cross a channel
+// this cycle — wherever the header is, including mid-wire or already
+// ejected with the tail wedged behind — and stops only once every flit has
+// ejected. The old headInNetwork buffer scan froze the clock in exactly
+// those states.
+func TestApplyTimeoutsTicksUnlessHeaderMoved(t *testing.T) {
+	fm := topology.NewFullMesh(2, 6)
+	s := New(fm.Network, router.AllowAll(fm.Network), Config{TimeoutCycles: 2, MaxRetries: 1})
+	mk := func(delivered, retries int, headMoved bool) *packet {
+		p := &packet{
+			spec: PacketSpec{Flits: 4}, injected: 4, retries: retries,
+			delivered: delivered, headMoved: headMoved, inActive: true,
+		}
+		s.activePkts = append(s.activePkts, p)
+		return p
+	}
+	stalled := mk(1, 1, false) // header parked somewhere: must tick
+	moving := mk(1, 0, true)   // header crossed a channel: clock rearmed
+	done := mk(4, 0, false)    // fully ejected: timeout can no longer fire
+
+	s.applyTimeouts()
+	if stalled.stall != 1 || stalled.dropped {
+		t.Fatalf("stalled worm: stall=%d dropped=%v, want 1/false", stalled.stall, stalled.dropped)
+	}
+	if moving.stall != 0 || moving.headMoved {
+		t.Fatalf("moving worm: stall=%d headMoved=%v, want 0/false (flag consumed)",
+			moving.stall, moving.headMoved)
+	}
+	if done.stall != 0 || done.inActive {
+		t.Fatalf("delivered worm: stall=%d inActive=%v, want 0/false", done.stall, done.inActive)
+	}
+
+	// Another motionless cycle: stalled hits the threshold with its retry
+	// budget exhausted, moving starts ticking.
+	s.applyTimeouts()
+	if !stalled.dropped || !stalled.inDirty {
+		t.Fatalf("stalled worm not dropped at threshold: %+v", stalled)
+	}
+	if stalled.wantRetry {
+		t.Fatal("retry granted beyond MaxRetries")
+	}
+	if moving.stall != 1 {
+		t.Fatalf("moving worm stall=%d after motionless cycle, want 1", moving.stall)
 	}
 }
 

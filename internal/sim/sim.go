@@ -20,16 +20,23 @@
 // channels of the Dally–Seitz scheme §2 weighs against topology-based
 // avoidance, plus the timeout/discard/retry recovery that section also
 // discusses.
+//
+// The per-cycle engine runs on dense, incrementally-maintained state —
+// slice-indexed ring-buffer FIFOs, precomputed per-channel tables, an
+// active-buffer worklist, per-packet flit-location counters, and reusable
+// arbitration scratch (state.go, arbiter.go) — and fast-forwards across
+// cycles in which no switching decision is possible. internal/sim/simref
+// preserves the previous scan-based implementation; the equivalence tests
+// pin this engine to it field-for-field over every built-in topology.
 package sim
 
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/router"
-	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
@@ -48,7 +55,8 @@ type Config struct {
 	MaxCycles int
 	// DeadlockThreshold is the number of consecutive cycles without any
 	// flit movement after which the network is declared deadlocked
-	// (default 10000).
+	// (default 10000). Flits propagating on wires count as movement, so a
+	// threshold below LinkLatency cannot declare a false deadlock.
 	DeadlockThreshold int
 	// TimeoutCycles, when positive, enables §2's timeout-based deadlock
 	// RECOVERY: a packet whose header has not moved for this many cycles
@@ -120,8 +128,10 @@ type Result struct {
 
 	AvgLatency float64 // cycles from InjectCycle to tail delivery
 	MaxLatency int
-	// P50Latency and P99Latency are latency percentiles over delivered
-	// packets (0 when nothing was delivered).
+	// P50Latency and P99Latency are nearest-rank latency percentiles over
+	// delivered packets (0 when nothing was delivered): the ceil(q*n/100)-th
+	// smallest latency, so P99 of 100 samples is the 99th value, not the
+	// maximum.
 	P50Latency, P99Latency int
 	// ThroughputFPC is delivered flits per cycle over the whole run.
 	ThroughputFPC float64
@@ -145,6 +155,14 @@ func (r Result) FlitMoves() int {
 	return total
 }
 
+// nearestRank is the 0-based index of the nearest-rank q-th percentile of n
+// sorted samples: ceil(q*n/100) - 1. The old implementation used
+// (n*q)/100, which at q=99, n=100 selects index 99 — the maximum — instead
+// of the 99th value.
+func nearestRank(q, n int) int {
+	return (q*n+99)/100 - 1
+}
+
 type packet struct {
 	id        int
 	spec      PacketSpec
@@ -157,7 +175,19 @@ type packet struct {
 	wantRetry bool
 	retries   int
 	stall     int // consecutive cycles the header has not moved (timeout mode)
-	owned     []vcPortKey
+
+	// Incrementally-maintained flit-location state. The old implementation
+	// recovered all of this with whole-network scans every cycle — and the
+	// scan-based headInNetwork could not see a header mid-wire or already
+	// delivered, which froze the stall clock exactly when a worm was wedged.
+	flitsBuf  int  // flits of this worm resident in router input buffers
+	flitsWire int  // flits of this worm propagating on wires
+	delivered int  // flits ejected at the destination
+	headMoved bool // the header flit crossed a channel this cycle
+	inActive  bool // member of Simulator.activePkts
+	inDirty   bool // member of Simulator.dirty
+
+	owned []int32 // output-VC buffer keys this worm's header has claimed
 }
 
 func (p *packet) vcAt(hop int) int {
@@ -180,156 +210,10 @@ type pendingFlit struct {
 	at  int // last cycle on the wire; lands when now > at
 }
 
-// vcPortKey identifies one virtual output channel of one router port.
-type vcPortKey struct {
-	dev  topology.DeviceID
-	port int
-	vc   int
-}
-
-// physKey identifies a physical output port (the 1 flit/cycle resource).
-type physKey struct {
-	dev  topology.DeviceID
-	port int
-}
-
-// Simulator runs one workload over one network. Create with New, add
-// packets, then Run.
-type Simulator struct {
-	net *topology.Network
-	dis *router.Disables
-	cfg Config
-
-	packets []*packet
-	queues  map[int][]*packet // per source node, FIFO injection order
-	seqs    map[[2]int]int
-
-	buffers  map[int][]flit // key = int(channel)*V + vc
-	owner    map[vcPortKey]int
-	arbiter  map[physKey]int // round-robin pointer over request keys
-	channels []topology.ChannelID
-
-	// pending holds flits in flight on a wire (LinkLatency > 1, or the
-	// uniform single-cycle pipeline stage): they land in their target
-	// buffer — or at their destination node — once now > at.
-	pending  []pendingFlit
-	inflight map[int]int // wire occupancy per buffer key, for space checks
-
-	busy        map[topology.ChannelID]int
-	outstanding int
-
-	faults    []LinkFault
-	deadLinks map[topology.LinkID]bool
-
-	// hook, when set, runs after a packet's tail flit is delivered. It may
-	// call AddPacket to inject follow-up traffic (acknowledgments, read
-	// responses, interrupts) — the mechanism the ServerNet transaction
-	// layer in internal/servernet builds on.
-	hook func(spec PacketSpec, now int)
-	// dropHook, when set, runs after a packet is discarded (disable
-	// violation, fault, or retry exhaustion). It may call AddPacket to
-	// re-issue the transfer — e.g. over the other fabric of a dual
-	// configuration.
-	dropHook func(spec PacketSpec, now int)
-}
-
-// OnDelivered installs a delivery hook invoked after each packet's tail
-// arrives; the hook may schedule new packets with AddPacket (their
-// InjectCycle must not be in the past).
-func (s *Simulator) OnDelivered(hook func(spec PacketSpec, now int)) { s.hook = hook }
-
-// OnDropped installs a hook invoked after a packet is permanently discarded
-// (path-disable violation, link fault, or retry exhaustion); it may
-// re-issue the transfer with AddPacket, e.g. over a standby fabric.
-func (s *Simulator) OnDropped(hook func(spec PacketSpec, now int)) { s.dropHook = hook }
-
-// ScheduleFault arranges for a link to fail at the given cycle.
-func (s *Simulator) ScheduleFault(f LinkFault) { s.faults = append(s.faults, f) }
-
-// New creates a simulator over a network with the given disable matrix
-// (use router.AllowAll for an unrestricted crossbar).
-func New(net *topology.Network, dis *router.Disables, cfg Config) *Simulator {
-	s := &Simulator{
-		net:       net,
-		dis:       dis,
-		cfg:       cfg.withDefaults(),
-		queues:    make(map[int][]*packet),
-		seqs:      make(map[[2]int]int),
-		buffers:   make(map[int][]flit),
-		inflight:  make(map[int]int),
-		owner:     make(map[vcPortKey]int),
-		arbiter:   make(map[physKey]int),
-		busy:      make(map[topology.ChannelID]int),
-		deadLinks: make(map[topology.LinkID]bool),
-	}
-	for c := 0; c < net.NumChannels(); c++ {
-		ch := topology.ChannelID(c)
-		if net.Device(net.ChannelDst(ch).Device).Kind == topology.Router {
-			s.channels = append(s.channels, ch)
-		}
-	}
-	return s
-}
-
-func (s *Simulator) bufKey(ch topology.ChannelID, vc int) int {
-	return int(ch)*s.cfg.VirtualChannels + vc
-}
-
-// AddPacket schedules a packet with an explicit route. Using routes rather
-// than live table lookups lets experiments inject per-packet path choices
-// (the in-order ablation) and corrupted-table routes.
-func (s *Simulator) AddPacket(spec PacketSpec, route routing.Route) error {
-	if spec.Flits < 1 {
-		return fmt.Errorf("sim: packet needs at least 1 flit, got %d", spec.Flits)
-	}
-	if route.Src != spec.Src || route.Dst != spec.Dst {
-		return fmt.Errorf("sim: route %d->%d does not match spec %d->%d",
-			route.Src, route.Dst, spec.Src, spec.Dst)
-	}
-	for i := range route.Channels {
-		if v := route.VCAt(i); v < 0 || v >= s.cfg.VirtualChannels {
-			return fmt.Errorf("sim: route hop %d uses VC %d but the simulator has %d VCs",
-				i, v, s.cfg.VirtualChannels)
-		}
-	}
-	p := &packet{
-		id:    len(s.packets),
-		spec:  spec,
-		route: route.Channels,
-		vcs:   route.VCs,
-		seq:   s.seqs[[2]int{spec.Src, spec.Dst}],
-	}
-	s.seqs[[2]int{spec.Src, spec.Dst}]++
-	s.packets = append(s.packets, p)
-	s.queues[spec.Src] = append(s.queues[spec.Src], p)
-	s.outstanding++
-	return nil
-}
-
-// AddBatch routes each spec through the tables and schedules it.
-func (s *Simulator) AddBatch(t *routing.Tables, specs []PacketSpec) error {
-	for _, spec := range specs {
-		r, err := t.Route(spec.Src, spec.Dst)
-		if err != nil {
-			return err
-		}
-		if err := s.AddPacket(spec, r); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-type move struct {
-	from int // buffer key; -1 == injection from the source node
-	to   int // buffer key
-	src  int // injecting node when from == -1
-}
-
 // Run executes the simulation until every packet is delivered or dropped,
 // deadlock is declared, or MaxCycles elapse.
 func (s *Simulator) Run() Result {
-	res := Result{ChannelFlits: s.busy}
+	res := Result{}
 	lastSeq := make(map[[2]int]int)
 	totalLatency := 0
 	var latencies []int
@@ -344,17 +228,17 @@ func (s *Simulator) Run() Result {
 	land := func(p pendingFlit) {
 		s.inflight[p.key]--
 		f := p.f
-		toCh := topology.ChannelID(p.key / s.cfg.VirtualChannels)
-		dst := s.net.ChannelDst(toCh)
-		if s.net.Device(dst.Device).Kind != topology.Node {
+		f.pkt.flitsWire--
+		if !s.chDstIsNode[p.key/s.cfg.VirtualChannels] {
 			if !f.pkt.dropped {
-				s.buffers[p.key] = append(s.buffers[p.key], f)
+				s.bufPush(p.key, f)
 			}
 			return
 		}
 		if f.pkt.dropped {
 			return
 		}
+		f.pkt.delivered++
 		deliveredFlits++
 		if f.idx == f.pkt.spec.Flits-1 {
 			s.outstanding--
@@ -378,24 +262,21 @@ func (s *Simulator) Run() Result {
 	}
 
 	for ; now < s.cfg.MaxCycles && s.outstanding > 0; now++ {
-		for _, f := range s.faults {
-			if f.Cycle == now {
-				s.deadLinks[f.Link] = true
+		for s.faultCursor < len(s.faults) && s.faults[s.faultCursor].Cycle <= now {
+			if s.faults[s.faultCursor].Cycle == now {
+				s.deadLink[s.faults[s.faultCursor].Link] = true
 			}
+			s.faultCursor++
 		}
 
-		// Wire arrivals land before this cycle's switching decisions.
+		// Wire arrivals land before this cycle's switching decisions. All
+		// wire delays equal LinkLatency, so the pending ring is FIFO by
+		// landing cycle and arrivals pop off the front in issue order.
 		landed = 0
-		keep := s.pending[:0]
-		for _, p := range s.pending {
-			if p.at < now {
-				land(p)
-				landed++
-			} else {
-				keep = append(keep, p)
-			}
+		for s.pendLen > 0 && s.pend[s.pendHead].at < now {
+			land(s.popPending())
+			landed++
 		}
-		s.pending = keep
 
 		moves := s.planMoves(now)
 
@@ -407,59 +288,131 @@ func (s *Simulator) Run() Result {
 				p := s.queues[mv.src][0]
 				f = flit{pkt: p, idx: p.injected, hop: 0}
 				p.stall = 0
+				if p.injected == 0 {
+					p.headMoved = true
+					if s.cfg.TimeoutCycles > 0 {
+						s.trackActive(p)
+					}
+				}
 				p.injected++
 				if p.injected == p.spec.Flits {
 					s.queues[mv.src] = s.queues[mv.src][1:]
 					res.Injected++
 				}
 			} else {
-				f = s.buffers[mv.from][0]
-				s.buffers[mv.from] = s.buffers[mv.from][1:]
+				f = s.bufPop(mv.from)
 				f.hop++
 				f.pkt.stall = 0
-				// Ownership transitions at the output VC just crossed.
-				out := vcPortKey{s.net.ChannelSrc(toCh).Device, s.net.ChannelSrc(toCh).Port, toVC}
+				// Ownership transitions at the output VC just crossed —
+				// identified by the destination buffer key, every wired
+				// port driving exactly one outgoing channel.
 				if f.idx == 0 {
-					if _, held := s.owner[out]; !held {
-						s.owner[out] = f.pkt.id
-						f.pkt.owned = append(f.pkt.owned, out)
+					f.pkt.headMoved = true
+					if s.owner[mv.to] < 0 {
+						s.owner[mv.to] = int32(f.pkt.id)
+						f.pkt.owned = append(f.pkt.owned, int32(mv.to))
 					}
 				}
 				if f.idx == f.pkt.spec.Flits-1 {
-					s.release(f.pkt, out)
+					s.release(f.pkt, int32(mv.to))
 				}
 			}
-			s.busy[toCh]++
+			s.busyCh[toCh]++
 			if s.cfg.Trace != nil {
 				fmt.Fprintf(s.cfg.Trace, "%d pkt%d flit%d vc%d %s\n",
 					now, f.pkt.id, f.idx, toVC, s.net.ChannelString(toCh))
 			}
-			s.pending = append(s.pending, pendingFlit{key: mv.to, f: f, at: now + s.cfg.LinkLatency - 1})
+			f.pkt.flitsWire++
+			s.pushPending(pendingFlit{key: mv.to, f: f, at: now + s.cfg.LinkLatency - 1})
 			s.inflight[mv.to]++
 		}
 
 		if s.cfg.TimeoutCycles > 0 {
 			s.applyTimeouts()
 		}
-		retired := s.reapDropped(&res, now)
-		s.outstanding -= retired
+		dirtyBefore := len(s.dirty)
+		retired := 0
+		if dirtyBefore > 0 {
+			retired = s.reapDropped(&res, now)
+			s.outstanding -= retired
+		}
 		if len(moves) > 0 || retired > 0 || landed > 0 {
 			idle = 0
 			continue
 		}
-		idle++
-		if idle >= s.cfg.DeadlockThreshold && s.inFlight() {
-			res.Deadlocked = true
-			res.WaitCycle = s.waitCycle()
-			break
+		if s.pendLen > 0 {
+			// Flits propagating on long wires are forward progress even
+			// though no switching decision fired this cycle; without this,
+			// DeadlockThreshold < LinkLatency declared false deadlocks.
+			idle = 0
+		} else {
+			idle++
+			if idle >= s.cfg.DeadlockThreshold && s.totalBuffered > 0 {
+				res.Deadlocked = true
+				res.WaitCycle = s.waitCycle()
+				break
+			}
+		}
+
+		// Nothing moved, landed, or retired, and no dropped worms are
+		// draining: the network is quiescent and can only change at the
+		// next discrete event. Jump there instead of spinning one cycle at
+		// a time, carrying the idle and stall clocks across the gap. A
+		// non-empty dirty list blocks the jump even when nothing retired —
+		// a reap may have cut queues or re-enqueued retries after planMoves
+		// computed nextInject, so the event horizon is stale.
+		if dirtyBefore > 0 {
+			continue
+		}
+		next := s.cfg.MaxCycles
+		if s.pendLen > 0 {
+			if t := s.pend[s.pendHead].at + 1; t < next {
+				next = t
+			}
+		}
+		if s.nextInject < next {
+			next = s.nextInject
+		}
+		if s.faultCursor < len(s.faults) && s.faults[s.faultCursor].Cycle < next {
+			next = s.faults[s.faultCursor].Cycle
+		}
+		if s.cfg.TimeoutCycles > 0 {
+			for _, p := range s.activePkts {
+				if t := now + s.cfg.TimeoutCycles - p.stall; t < next {
+					next = t
+				}
+			}
+		}
+		if s.pendLen == 0 && s.totalBuffered > 0 {
+			if t := now + s.cfg.DeadlockThreshold - idle; t < next {
+				next = t
+			}
+		}
+		if skipped := next - 1 - now; skipped > 0 {
+			if s.pendLen == 0 {
+				idle += skipped
+			}
+			if s.cfg.TimeoutCycles > 0 {
+				for _, p := range s.activePkts {
+					p.stall += skipped
+				}
+			}
+			now = next - 1
 		}
 	}
 	res.Cycles = now
+	cf := make(map[topology.ChannelID]int)
+	for c, n := range s.busyCh {
+		if n > 0 {
+			cf[topology.ChannelID(c)] = n
+		}
+	}
+	res.ChannelFlits = cf
 	if res.Delivered > 0 {
 		res.AvgLatency = float64(totalLatency) / float64(res.Delivered)
 		sort.Ints(latencies)
-		res.P50Latency = latencies[len(latencies)/2]
-		res.P99Latency = latencies[(len(latencies)*99)/100]
+		res.P50Latency = latencies[nearestRank(50, len(latencies))]
+		res.P99Latency = latencies[nearestRank(99, len(latencies))]
 	}
 	if now > 0 {
 		res.ThroughputFPC = float64(deliveredFlits) / float64(now)
@@ -467,260 +420,105 @@ func (s *Simulator) Run() Result {
 	return res
 }
 
-// planMoves selects at most one flit movement per physical output port (and
-// per injection channel) based on start-of-cycle state.
-func (s *Simulator) planMoves(now int) []move {
-	sizes := make(map[int]int, len(s.buffers))
-	for k, b := range s.buffers {
-		sizes[k] = len(b)
-	}
-	space := func(key int) bool {
-		ch := topology.ChannelID(key / s.cfg.VirtualChannels)
-		if s.net.Device(s.net.ChannelDst(ch).Device).Kind == topology.Node {
-			return true // ejection: the node consumes immediately
-		}
-		return sizes[key]+s.inflight[key] < s.cfg.FIFODepth
-	}
-
-	var moves []move
-	type request struct {
-		from       int
-		to         int
-		continuing bool
-	}
-	requests := make(map[physKey][]request)
-	for _, ch := range s.channels {
-		for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
-			key := s.bufKey(ch, vc)
-			b := s.buffers[key]
-			if len(b) == 0 {
-				continue
-			}
-			f := b[0]
-			if f.pkt.dropped {
-				continue // reaped separately
-			}
-			next := f.pkt.route[f.hop+1]
-			nextVC := f.pkt.vcAt(f.hop + 1)
-			dev := s.net.ChannelDst(ch).Device
-			in := s.net.ChannelDst(ch).Port
-			out := s.net.ChannelSrc(next).Port
-			if f.idx == 0 && !s.dis.Allowed(dev, in, out) {
-				// Path-disable logic rejects the turn: the packet is
-				// discarded (ServerNet raises a transmission error).
-				f.pkt.dropped = true
-				continue
-			}
-			if s.deadLinks[s.net.ChannelLink(next)] {
-				// The worm is aimed at a failed link: the hardware kills it.
-				f.pkt.dropped = true
-				continue
-			}
-			nextKey := s.bufKey(next, nextVC)
-			if !space(nextKey) {
-				continue
-			}
-			outVC := vcPortKey{dev, out, nextVC}
-			own, held := s.owner[outVC]
-			switch {
-			case held && own == f.pkt.id:
-				requests[physKey{dev, out}] = append(requests[physKey{dev, out}],
-					request{from: key, to: nextKey, continuing: true})
-			case !held && f.idx == 0:
-				requests[physKey{dev, out}] = append(requests[physKey{dev, out}],
-					request{from: key, to: nextKey})
-			}
-		}
-	}
-	// One grant per physical output port, round-robin over request source
-	// buffers; continuing worms outrank new headers so body flits are not
-	// starved mid-worm.
-	keys := make([]physKey, 0, len(requests))
-	for k := range requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].dev != keys[j].dev {
-			return keys[i].dev < keys[j].dev
-		}
-		return keys[i].port < keys[j].port
-	})
-	for _, k := range keys {
-		reqs := requests[k]
-		sort.Slice(reqs, func(i, j int) bool {
-			if reqs[i].continuing != reqs[j].continuing {
-				return reqs[i].continuing
-			}
-			return reqs[i].from < reqs[j].from
-		})
-		// Round-robin within the top priority class.
-		class := reqs
-		for i, r := range reqs {
-			if r.continuing != reqs[0].continuing {
-				class = reqs[:i]
-				break
-			}
-		}
-		last := s.arbiter[k]
-		best := class[0]
-		for _, r := range class {
-			if r.from > last {
-				best = r
-				break
-			}
-		}
-		s.arbiter[k] = best.from
-		moves = append(moves, move{from: best.from, to: best.to})
-	}
-
-	// Injection: one flit per source node with a pending packet.
-	srcs := make([]int, 0, len(s.queues))
-	for src, q := range s.queues {
-		if len(q) > 0 {
-			srcs = append(srcs, src)
-		}
-	}
-	sort.Ints(srcs)
-	for _, src := range srcs {
-		p := s.queues[src][0]
-		if p.spec.InjectCycle > now || p.dropped {
-			continue
-		}
-		if s.deadLinks[s.net.ChannelLink(p.route[0])] {
-			p.dropped = true
-			continue
-		}
-		injKey := s.bufKey(p.route[0], p.vcAt(0))
-		if space(injKey) {
-			moves = append(moves, move{from: -1, to: injKey, src: src})
-		}
-	}
-	return moves
-}
-
-// release frees the given output VC if the worm holds it.
-func (s *Simulator) release(p *packet, out vcPortKey) {
-	for i, k := range p.owned {
-		if k == out {
-			delete(s.owner, k)
-			p.owned = append(p.owned[:i], p.owned[i+1:]...)
-			return
-		}
-	}
-}
-
-// applyTimeouts advances per-packet stall counters for worms none of whose
-// flits moved this cycle (flit movement resets the counter during move
-// execution), and discards-with-retry any worm exceeding the configured
-// timeout (§2's recovery alternative). Retried packets are re-enqueued at
-// the source — deliberately NOT reordered in front of later traffic, which
-// is how out-of-order delivery arises.
+// applyTimeouts advances per-packet stall counters for worms whose header
+// flit did not cross a channel this cycle (any flit movement of the worm
+// resets the counter during move execution), and discards-with-retry any
+// worm exceeding the configured timeout (§2's recovery alternative).
+// Retried packets are re-enqueued at the source — deliberately NOT
+// reordered in front of later traffic, which is how out-of-order delivery
+// arises.
+//
+// The clock keeps running wherever the header is: buffered, mid-wire on a
+// long link, or already delivered with body flits stuck behind a fault.
+// The old buffer-scan predicate went blind in the latter two cases, so a
+// worm wedged with its header off-buffer could never time out and its held
+// VCs leaked until DeadlockThreshold fired.
 func (s *Simulator) applyTimeouts() {
-	for _, p := range s.packets {
-		if p.dropped || p.retired || p.injected == 0 {
+	kept := s.activePkts[:0]
+	for _, p := range s.activePkts {
+		if p.dropped || p.retired || p.injected == 0 || p.delivered == p.spec.Flits {
+			p.inActive = false
 			continue
 		}
-		if s.headInNetwork(p) {
+		if !p.headMoved {
 			p.stall++
 			if p.stall >= s.cfg.TimeoutCycles {
 				p.dropped = true
 				p.wantRetry = p.retries < s.cfg.MaxRetries
+				s.markDropped(p)
+				p.inActive = false
+				continue
 			}
 		}
+		p.headMoved = false
+		kept = append(kept, p)
 	}
-}
-
-// headInNetwork reports whether the packet's header flit is still buffered
-// somewhere (not yet delivered).
-func (s *Simulator) headInNetwork(p *packet) bool {
-	for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
-		for _, ch := range s.channels {
-			b := s.buffers[s.bufKey(ch, vc)]
-			for _, f := range b {
-				if f.pkt == p && f.idx == 0 {
-					return true
-				}
-			}
-		}
-	}
-	return false
+	s.activePkts = kept
 }
 
 // reapDropped consumes flits of dropped packets at buffer heads and retires
 // packets whose flits are fully drained, releasing the output VCs their
 // worms held; timeout victims are re-enqueued. It returns the number of
-// packets permanently retired this cycle.
+// packets permanently retired this cycle. Only called while the dirty list
+// is non-empty — a quiescent network reaps nothing.
 func (s *Simulator) reapDropped(res *Result, now int) int {
-	for _, ch := range s.channels {
-		for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
-			key := s.bufKey(ch, vc)
-			for len(s.buffers[key]) > 0 && s.buffers[key][0].pkt.dropped {
-				s.buffers[key] = s.buffers[key][1:]
-			}
+	// Drain dropped worms' flits at buffer heads. Iterating the active
+	// worklist back to front keeps the swap-removal of emptied buffers
+	// safe: the element swapped in always comes from an index already
+	// visited.
+	for i := len(s.activeBufs) - 1; i >= 0; i-- {
+		key := int(s.activeBufs[i])
+		for s.bufLen[key] > 0 && s.bufFlits[key*s.depth+int(s.bufHead[key])].pkt.dropped {
+			s.bufPop(key)
 		}
 	}
 	// Cut dropped packets off at the source.
-	for src, q := range s.queues {
-		if len(q) > 0 && q[0].dropped {
-			q[0].injected = q[0].spec.Flits
-			s.queues[src] = q[1:]
+	for _, p := range s.dirty {
+		if q := s.queues[p.spec.Src]; len(q) > 0 && q[0] == p {
+			p.injected = p.spec.Flits
+			s.queues[p.spec.Src] = q[1:]
 		}
 	}
+	// Retire and retry in packet-id order — the order the old
+	// implementation's full scan over s.packets produced.
+	slices.SortFunc(s.dirty, func(a, b *packet) int { return a.id - b.id })
 	retired := 0
-	for _, p := range s.packets {
-		if p.dropped && !p.retired && p.injected == p.spec.Flits && !s.hasFlits(p) {
-			for _, k := range p.owned {
-				if s.owner[k] == p.id {
-					delete(s.owner, k)
-				}
-			}
-			p.owned = nil
-			if p.wantRetry {
-				// Re-inject: same packet identity (and sequence number, so
-				// the in-order checker sees the true delivery order), fresh
-				// flit stream.
-				p.dropped, p.wantRetry = false, false
-				p.retries++
-				p.stall = 0
-				p.injected = 0
-				res.Retries++
-				s.queues[p.spec.Src] = append(s.queues[p.spec.Src], p)
-				continue
-			}
-			p.retired = true
-			res.Dropped++
-			retired++
-			if s.dropHook != nil {
-				s.dropHook(p.spec, now)
+	kept := s.dirty[:0]
+	for _, p := range s.dirty {
+		if p.flitsBuf+p.flitsWire > 0 || p.injected != p.spec.Flits || p.retired {
+			kept = append(kept, p)
+			continue
+		}
+		for _, k := range p.owned {
+			if s.owner[k] == int32(p.id) {
+				s.owner[k] = -1
 			}
 		}
+		p.owned = nil
+		p.inDirty = false
+		if p.wantRetry {
+			// Re-inject: same packet identity (and sequence number, so
+			// the in-order checker sees the true delivery order), fresh
+			// flit stream.
+			p.dropped, p.wantRetry = false, false
+			p.retries++
+			p.stall = 0
+			p.injected = 0
+			p.delivered = 0
+			p.headMoved = false
+			res.Retries++
+			s.queues[p.spec.Src] = append(s.queues[p.spec.Src], p)
+			continue
+		}
+		p.retired = true
+		res.Dropped++
+		retired++
+		if s.dropHook != nil {
+			s.dropHook(p.spec, now)
+		}
 	}
+	s.dirty = kept
 	return retired
-}
-
-func (s *Simulator) hasFlits(p *packet) bool {
-	for _, b := range s.buffers {
-		for _, f := range b {
-			if f.pkt == p {
-				return true
-			}
-		}
-	}
-	for _, pf := range s.pending {
-		if pf.f.pkt == p {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *Simulator) inFlight() bool {
-	for _, b := range s.buffers {
-		if len(b) > 0 {
-			return true
-		}
-	}
-	return len(s.pending) > 0
 }
 
 // waitCycle builds the channel wait-for graph — blocked head flit in
@@ -729,18 +527,17 @@ func (s *Simulator) inFlight() bool {
 func (s *Simulator) waitCycle() []topology.ChannelID {
 	v := s.cfg.VirtualChannels
 	g := graph.NewDigraph(s.net.NumChannels() * v)
-	for _, ch := range s.channels {
-		for vc := 0; vc < v; vc++ {
-			b := s.buffers[s.bufKey(ch, vc)]
-			if len(b) == 0 {
-				continue
-			}
-			f := b[0]
-			if f.pkt.dropped {
-				continue
-			}
-			g.AddEdge(s.bufKey(ch, vc), s.bufKey(f.pkt.route[f.hop+1], f.pkt.vcAt(f.hop+1)))
+	slices.Sort(s.activeBufs)
+	for i, k := range s.activeBufs {
+		s.activePos[k] = int32(i)
+	}
+	for _, k32 := range s.activeBufs {
+		key := int(k32)
+		f := s.bufFlits[key*s.depth+int(s.bufHead[key])]
+		if f.pkt.dropped {
+			continue
 		}
+		g.AddEdge(key, int(f.pkt.route[f.hop+1])*v+f.pkt.vcAt(f.hop+1))
 	}
 	cyc, ok := g.FindCycle()
 	if !ok {

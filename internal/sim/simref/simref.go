@@ -1,0 +1,653 @@
+// Package simref preserves the previous, scan-based implementation of the
+// wormhole flit simulator as an executable reference. The rewritten engine
+// in internal/sim answers every per-cycle question (buffer occupancy,
+// ownership, arbitration order, packet flit locations) from dense indexed
+// state; this package still answers them the original way — map-of-slices
+// buffers, map-keyed ownership and round-robin state, and whole-network
+// scans — so the cross-implementation equivalence tests can pin the new
+// engine's every Result field to the old scheduler's, over every built-in
+// topology. It exists only for tests and will be deleted once the new
+// engine has soaked; nothing outside _test files may import it.
+//
+// Two deliberate departures from the historical code, both required for a
+// meaningful field-for-field comparison:
+//
+//   - percentiles use the fixed nearest-rank convention (the old index
+//     arithmetic off-by-one is pinned separately by exact-value regression
+//     tests in the sim package);
+//   - ScheduleFault validates its fault like the new engine, so both
+//     implementations accept exactly the same experiment inputs.
+//
+// The timeout stall clock and the idle/deadlock counter keep the OLD
+// semantics — header-location blind spots and all — which is exactly what
+// the equivalence suite runs scenarios against: on every configuration the
+// experiments use, the two semantics provably coincide, and the bug-fix
+// scenarios (header mid-wire on a long link, header delivered with a
+// stranded tail, DeadlockThreshold below LinkLatency) are covered by
+// regression tests against the new engine alone.
+package simref
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The reference simulator shares the public parameter and result types with
+// the live engine so tests can hand identical inputs to both and compare
+// results with reflect.DeepEqual.
+type (
+	Config     = sim.Config
+	PacketSpec = sim.PacketSpec
+	LinkFault  = sim.LinkFault
+	Result     = sim.Result
+)
+
+func withDefaults(c Config) Config {
+	if c.FIFODepth <= 0 {
+		c.FIFODepth = 4
+	}
+	if c.VirtualChannels <= 0 {
+		c.VirtualChannels = 1
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 1_000_000
+	}
+	if c.DeadlockThreshold <= 0 {
+		c.DeadlockThreshold = 10_000
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 1
+	}
+	return c
+}
+
+// nearestRank matches the live engine's percentile convention; see
+// sim.Result.
+func nearestRank(q, n int) int {
+	return (q*n+99)/100 - 1
+}
+
+type packet struct {
+	id        int
+	spec      PacketSpec
+	route     []topology.ChannelID
+	vcs       []int
+	seq       int
+	injected  int
+	dropped   bool
+	retired   bool
+	wantRetry bool
+	retries   int
+	stall     int
+	owned     []vcPortKey
+}
+
+func (p *packet) vcAt(hop int) int {
+	if p.vcs == nil {
+		return 0
+	}
+	return p.vcs[hop]
+}
+
+type flit struct {
+	pkt *packet
+	idx int
+	hop int
+}
+
+type pendingFlit struct {
+	key int
+	f   flit
+	at  int
+}
+
+// vcPortKey identifies one virtual output channel of one router port.
+type vcPortKey struct {
+	dev  topology.DeviceID
+	port int
+	vc   int
+}
+
+// physKey identifies a physical output port (the 1 flit/cycle resource).
+type physKey struct {
+	dev  topology.DeviceID
+	port int
+}
+
+// Simulator is the reference engine. Create with New, add packets, Run.
+type Simulator struct {
+	net *topology.Network
+	dis *router.Disables
+	cfg Config
+
+	packets []*packet
+	queues  map[int][]*packet
+	seqs    map[[2]int]int
+
+	buffers  map[int][]flit
+	owner    map[vcPortKey]int
+	arbiter  map[physKey]int
+	channels []topology.ChannelID
+
+	pending  []pendingFlit
+	inflight map[int]int
+
+	busy        map[topology.ChannelID]int
+	outstanding int
+
+	faults    []LinkFault
+	deadLinks map[topology.LinkID]bool
+
+	hook     func(spec PacketSpec, now int)
+	dropHook func(spec PacketSpec, now int)
+}
+
+// OnDelivered installs a delivery hook; see sim.Simulator.OnDelivered.
+func (s *Simulator) OnDelivered(hook func(spec PacketSpec, now int)) { s.hook = hook }
+
+// OnDropped installs a drop hook; see sim.Simulator.OnDropped.
+func (s *Simulator) OnDropped(hook func(spec PacketSpec, now int)) { s.dropHook = hook }
+
+// ScheduleFault arranges for a link to fail at the given cycle, with the
+// same validation as the live engine.
+func (s *Simulator) ScheduleFault(f LinkFault) error {
+	if f.Cycle < 0 || f.Cycle >= s.cfg.MaxCycles {
+		return fmt.Errorf("simref: fault cycle %d outside the simulation horizon [0, %d)",
+			f.Cycle, s.cfg.MaxCycles)
+	}
+	if f.Link < 0 || int(f.Link) >= s.net.NumLinks() {
+		return fmt.Errorf("simref: fault link %d out of range (network has %d links)",
+			f.Link, s.net.NumLinks())
+	}
+	s.faults = append(s.faults, f)
+	return nil
+}
+
+// New creates a reference simulator over a network with the given disable
+// matrix.
+func New(net *topology.Network, dis *router.Disables, cfg Config) *Simulator {
+	s := &Simulator{
+		net:       net,
+		dis:       dis,
+		cfg:       withDefaults(cfg),
+		queues:    make(map[int][]*packet),
+		seqs:      make(map[[2]int]int),
+		buffers:   make(map[int][]flit),
+		inflight:  make(map[int]int),
+		owner:     make(map[vcPortKey]int),
+		arbiter:   make(map[physKey]int),
+		busy:      make(map[topology.ChannelID]int),
+		deadLinks: make(map[topology.LinkID]bool),
+	}
+	for c := 0; c < net.NumChannels(); c++ {
+		ch := topology.ChannelID(c)
+		if net.Device(net.ChannelDst(ch).Device).Kind == topology.Router {
+			s.channels = append(s.channels, ch)
+		}
+	}
+	return s
+}
+
+func (s *Simulator) bufKey(ch topology.ChannelID, vc int) int {
+	return int(ch)*s.cfg.VirtualChannels + vc
+}
+
+// AddPacket schedules a packet with an explicit route.
+func (s *Simulator) AddPacket(spec PacketSpec, route routing.Route) error {
+	if spec.Flits < 1 {
+		return fmt.Errorf("simref: packet needs at least 1 flit, got %d", spec.Flits)
+	}
+	if route.Src != spec.Src || route.Dst != spec.Dst {
+		return fmt.Errorf("simref: route %d->%d does not match spec %d->%d",
+			route.Src, route.Dst, spec.Src, spec.Dst)
+	}
+	for i := range route.Channels {
+		if v := route.VCAt(i); v < 0 || v >= s.cfg.VirtualChannels {
+			return fmt.Errorf("simref: route hop %d uses VC %d but the simulator has %d VCs",
+				i, v, s.cfg.VirtualChannels)
+		}
+	}
+	p := &packet{
+		id:    len(s.packets),
+		spec:  spec,
+		route: route.Channels,
+		vcs:   route.VCs,
+		seq:   s.seqs[[2]int{spec.Src, spec.Dst}],
+	}
+	s.seqs[[2]int{spec.Src, spec.Dst}]++
+	s.packets = append(s.packets, p)
+	s.queues[spec.Src] = append(s.queues[spec.Src], p)
+	s.outstanding++
+	return nil
+}
+
+// AddBatch routes each spec through the tables and schedules it.
+func (s *Simulator) AddBatch(t *routing.Tables, specs []PacketSpec) error {
+	for _, spec := range specs {
+		r, err := t.Route(spec.Src, spec.Dst)
+		if err != nil {
+			return err
+		}
+		if err := s.AddPacket(spec, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type move struct {
+	from int
+	to   int
+	src  int
+}
+
+// Run executes the simulation; see sim.Simulator.Run.
+func (s *Simulator) Run() Result {
+	res := Result{ChannelFlits: s.busy}
+	lastSeq := make(map[[2]int]int)
+	totalLatency := 0
+	var latencies []int
+	deliveredFlits := 0
+	idle := 0
+
+	now := 0
+	landed := 0
+	land := func(p pendingFlit) {
+		s.inflight[p.key]--
+		f := p.f
+		toCh := topology.ChannelID(p.key / s.cfg.VirtualChannels)
+		dst := s.net.ChannelDst(toCh)
+		if s.net.Device(dst.Device).Kind != topology.Node {
+			if !f.pkt.dropped {
+				s.buffers[p.key] = append(s.buffers[p.key], f)
+			}
+			return
+		}
+		if f.pkt.dropped {
+			return
+		}
+		deliveredFlits++
+		if f.idx == f.pkt.spec.Flits-1 {
+			s.outstanding--
+			res.Delivered++
+			lat := now - f.pkt.spec.InjectCycle
+			totalLatency += lat
+			latencies = append(latencies, lat)
+			if lat > res.MaxLatency {
+				res.MaxLatency = lat
+			}
+			key := [2]int{f.pkt.spec.Src, f.pkt.spec.Dst}
+			if f.pkt.seq < lastSeq[key] {
+				res.InOrderViolations++
+			} else {
+				lastSeq[key] = f.pkt.seq + 1
+			}
+			if s.hook != nil {
+				s.hook(f.pkt.spec, now)
+			}
+		}
+	}
+
+	for ; now < s.cfg.MaxCycles && s.outstanding > 0; now++ {
+		for _, f := range s.faults {
+			if f.Cycle == now {
+				s.deadLinks[f.Link] = true
+			}
+		}
+
+		landed = 0
+		keep := s.pending[:0]
+		for _, p := range s.pending {
+			if p.at < now {
+				land(p)
+				landed++
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		s.pending = keep
+
+		moves := s.planMoves(now)
+
+		for _, mv := range moves {
+			var f flit
+			toCh := topology.ChannelID(mv.to / s.cfg.VirtualChannels)
+			toVC := mv.to % s.cfg.VirtualChannels
+			if mv.from == -1 {
+				p := s.queues[mv.src][0]
+				f = flit{pkt: p, idx: p.injected, hop: 0}
+				p.stall = 0
+				p.injected++
+				if p.injected == p.spec.Flits {
+					s.queues[mv.src] = s.queues[mv.src][1:]
+					res.Injected++
+				}
+			} else {
+				f = s.buffers[mv.from][0]
+				s.buffers[mv.from] = s.buffers[mv.from][1:]
+				f.hop++
+				f.pkt.stall = 0
+				out := vcPortKey{s.net.ChannelSrc(toCh).Device, s.net.ChannelSrc(toCh).Port, toVC}
+				if f.idx == 0 {
+					if _, held := s.owner[out]; !held {
+						s.owner[out] = f.pkt.id
+						f.pkt.owned = append(f.pkt.owned, out)
+					}
+				}
+				if f.idx == f.pkt.spec.Flits-1 {
+					s.release(f.pkt, out)
+				}
+			}
+			s.busy[toCh]++
+			if s.cfg.Trace != nil {
+				fmt.Fprintf(s.cfg.Trace, "%d pkt%d flit%d vc%d %s\n",
+					now, f.pkt.id, f.idx, toVC, s.net.ChannelString(toCh))
+			}
+			s.pending = append(s.pending, pendingFlit{key: mv.to, f: f, at: now + s.cfg.LinkLatency - 1})
+			s.inflight[mv.to]++
+		}
+
+		if s.cfg.TimeoutCycles > 0 {
+			s.applyTimeouts()
+		}
+		retired := s.reapDropped(&res, now)
+		s.outstanding -= retired
+		if len(moves) > 0 || retired > 0 || landed > 0 {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= s.cfg.DeadlockThreshold && s.inFlight() {
+			res.Deadlocked = true
+			res.WaitCycle = s.waitCycle()
+			break
+		}
+	}
+	res.Cycles = now
+	if res.Delivered > 0 {
+		res.AvgLatency = float64(totalLatency) / float64(res.Delivered)
+		sort.Ints(latencies)
+		res.P50Latency = latencies[nearestRank(50, len(latencies))]
+		res.P99Latency = latencies[nearestRank(99, len(latencies))]
+	}
+	if now > 0 {
+		res.ThroughputFPC = float64(deliveredFlits) / float64(now)
+	}
+	return res
+}
+
+// planMoves selects at most one flit movement per physical output port (and
+// per injection channel) based on start-of-cycle state.
+func (s *Simulator) planMoves(now int) []move {
+	sizes := make(map[int]int, len(s.buffers))
+	for k, b := range s.buffers {
+		sizes[k] = len(b)
+	}
+	space := func(key int) bool {
+		ch := topology.ChannelID(key / s.cfg.VirtualChannels)
+		if s.net.Device(s.net.ChannelDst(ch).Device).Kind == topology.Node {
+			return true
+		}
+		return sizes[key]+s.inflight[key] < s.cfg.FIFODepth
+	}
+
+	var moves []move
+	type request struct {
+		from       int
+		to         int
+		continuing bool
+	}
+	requests := make(map[physKey][]request)
+	for _, ch := range s.channels {
+		for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
+			key := s.bufKey(ch, vc)
+			b := s.buffers[key]
+			if len(b) == 0 {
+				continue
+			}
+			f := b[0]
+			if f.pkt.dropped {
+				continue
+			}
+			next := f.pkt.route[f.hop+1]
+			nextVC := f.pkt.vcAt(f.hop + 1)
+			dev := s.net.ChannelDst(ch).Device
+			in := s.net.ChannelDst(ch).Port
+			out := s.net.ChannelSrc(next).Port
+			if f.idx == 0 && !s.dis.Allowed(dev, in, out) {
+				f.pkt.dropped = true
+				continue
+			}
+			if s.deadLinks[s.net.ChannelLink(next)] {
+				f.pkt.dropped = true
+				continue
+			}
+			nextKey := s.bufKey(next, nextVC)
+			if !space(nextKey) {
+				continue
+			}
+			outVC := vcPortKey{dev, out, nextVC}
+			own, held := s.owner[outVC]
+			switch {
+			case held && own == f.pkt.id:
+				requests[physKey{dev, out}] = append(requests[physKey{dev, out}],
+					request{from: key, to: nextKey, continuing: true})
+			case !held && f.idx == 0:
+				requests[physKey{dev, out}] = append(requests[physKey{dev, out}],
+					request{from: key, to: nextKey})
+			}
+		}
+	}
+	keys := make([]physKey, 0, len(requests))
+	for k := range requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev < keys[j].dev
+		}
+		return keys[i].port < keys[j].port
+	})
+	for _, k := range keys {
+		reqs := requests[k]
+		sort.Slice(reqs, func(i, j int) bool {
+			if reqs[i].continuing != reqs[j].continuing {
+				return reqs[i].continuing
+			}
+			return reqs[i].from < reqs[j].from
+		})
+		class := reqs
+		for i, r := range reqs {
+			if r.continuing != reqs[0].continuing {
+				class = reqs[:i]
+				break
+			}
+		}
+		last := s.arbiter[k]
+		best := class[0]
+		for _, r := range class {
+			if r.from > last {
+				best = r
+				break
+			}
+		}
+		s.arbiter[k] = best.from
+		moves = append(moves, move{from: best.from, to: best.to})
+	}
+
+	srcs := make([]int, 0, len(s.queues))
+	for src, q := range s.queues {
+		if len(q) > 0 {
+			srcs = append(srcs, src)
+		}
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		p := s.queues[src][0]
+		if p.spec.InjectCycle > now || p.dropped {
+			continue
+		}
+		if s.deadLinks[s.net.ChannelLink(p.route[0])] {
+			p.dropped = true
+			continue
+		}
+		injKey := s.bufKey(p.route[0], p.vcAt(0))
+		if space(injKey) {
+			moves = append(moves, move{from: -1, to: injKey, src: src})
+		}
+	}
+	return moves
+}
+
+// release frees the given output VC if the worm holds it.
+func (s *Simulator) release(p *packet, out vcPortKey) {
+	for i, k := range p.owned {
+		if k == out {
+			delete(s.owner, k)
+			p.owned = append(p.owned[:i], p.owned[i+1:]...)
+			return
+		}
+	}
+}
+
+// applyTimeouts keeps the OLD stall-clock semantics: the clock ticks only
+// while the header flit is resident in a router buffer.
+func (s *Simulator) applyTimeouts() {
+	for _, p := range s.packets {
+		if p.dropped || p.retired || p.injected == 0 {
+			continue
+		}
+		if s.headInNetwork(p) {
+			p.stall++
+			if p.stall >= s.cfg.TimeoutCycles {
+				p.dropped = true
+				p.wantRetry = p.retries < s.cfg.MaxRetries
+			}
+		}
+	}
+}
+
+// headInNetwork reports whether the packet's header flit is buffered
+// somewhere — the old scan with its mid-wire and delivered blind spots.
+func (s *Simulator) headInNetwork(p *packet) bool {
+	for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
+		for _, ch := range s.channels {
+			b := s.buffers[s.bufKey(ch, vc)]
+			for _, f := range b {
+				if f.pkt == p && f.idx == 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reapDropped consumes flits of dropped packets at buffer heads and retires
+// packets whose flits are fully drained.
+func (s *Simulator) reapDropped(res *Result, now int) int {
+	for _, ch := range s.channels {
+		for vc := 0; vc < s.cfg.VirtualChannels; vc++ {
+			key := s.bufKey(ch, vc)
+			for len(s.buffers[key]) > 0 && s.buffers[key][0].pkt.dropped {
+				s.buffers[key] = s.buffers[key][1:]
+			}
+		}
+	}
+	for src, q := range s.queues {
+		if len(q) > 0 && q[0].dropped {
+			q[0].injected = q[0].spec.Flits
+			s.queues[src] = q[1:]
+		}
+	}
+	retired := 0
+	for _, p := range s.packets {
+		if p.dropped && !p.retired && p.injected == p.spec.Flits && !s.hasFlits(p) {
+			for _, k := range p.owned {
+				if s.owner[k] == p.id {
+					delete(s.owner, k)
+				}
+			}
+			p.owned = nil
+			if p.wantRetry {
+				p.dropped, p.wantRetry = false, false
+				p.retries++
+				p.stall = 0
+				p.injected = 0
+				res.Retries++
+				s.queues[p.spec.Src] = append(s.queues[p.spec.Src], p)
+				continue
+			}
+			p.retired = true
+			res.Dropped++
+			retired++
+			if s.dropHook != nil {
+				s.dropHook(p.spec, now)
+			}
+		}
+	}
+	return retired
+}
+
+func (s *Simulator) hasFlits(p *packet) bool {
+	for _, b := range s.buffers {
+		for _, f := range b {
+			if f.pkt == p {
+				return true
+			}
+		}
+	}
+	for _, pf := range s.pending {
+		if pf.f.pkt == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) inFlight() bool {
+	for _, b := range s.buffers {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	return len(s.pending) > 0
+}
+
+// waitCycle builds the channel wait-for graph and returns a cycle's
+// physical channels if present.
+func (s *Simulator) waitCycle() []topology.ChannelID {
+	v := s.cfg.VirtualChannels
+	g := graph.NewDigraph(s.net.NumChannels() * v)
+	for _, ch := range s.channels {
+		for vc := 0; vc < v; vc++ {
+			b := s.buffers[s.bufKey(ch, vc)]
+			if len(b) == 0 {
+				continue
+			}
+			f := b[0]
+			if f.pkt.dropped {
+				continue
+			}
+			g.AddEdge(s.bufKey(ch, vc), s.bufKey(f.pkt.route[f.hop+1], f.pkt.vcAt(f.hop+1)))
+		}
+	}
+	cyc, ok := g.FindCycle()
+	if !ok {
+		return nil
+	}
+	out := make([]topology.ChannelID, len(cyc))
+	for i, c := range cyc {
+		out[i] = topology.ChannelID(c / v)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package sim
+
+// Dense simulator state. The per-cycle hot path never touches a map: every
+// lookup the old implementation answered with map-of-slices buffers,
+// map-keyed ownership/arbitration, and whole-network scans is answered here
+// by a slice indexed with the buffer key (channel*VirtualChannels + vc), a
+// precomputed per-channel table, or a per-packet counter maintained
+// incrementally as flits move. See EXPERIMENTS.md "Simulator internals &
+// performance" for the design.
+
+import (
+	"fmt"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Simulator runs one workload over one network. Create with New, add
+// packets, then Run.
+type Simulator struct {
+	net *topology.Network
+	dis *router.Disables
+	cfg Config
+
+	packets []*packet
+	queues  [][]*packet // per source node address, FIFO injection order
+	seqs    map[[2]int]int
+
+	depth int // cfg.FIFODepth, hoisted
+
+	// Per-channel lookup tables, indexed by ChannelID.
+	chDstIsNode []bool             // channel ends at an end node (ejection)
+	chSrcPort   []int32            // upstream output port number driving the channel
+	chLink      []topology.LinkID  // physical link the channel belongs to
+	chAllowed   [][]bool           // disable row for (dst router, dst port); nil for ejection channels
+	chOutPort   []int32            // global (device, port)-ordered index of the source port
+
+	// Flat ring-buffer FIFOs: buffer key k occupies bufFlits[k*depth :
+	// (k+1)*depth], with bufHead/bufLen tracking the ring window. space()
+	// guarantees occupancy never exceeds depth.
+	bufFlits []flit
+	bufHead  []int32
+	bufLen   []int32
+
+	inflight []int32 // wire occupancy per destination buffer key
+	owner    []int32 // owning packet id per output-VC buffer key; -1 when free
+	deadLink []bool  // per LinkID
+	busyCh   []int   // flit crossings per channel
+
+	// Worklist of non-empty input buffers. activePos gives each key's index
+	// in activeBufs (-1 when absent) so emptying a buffer removes it with a
+	// swap. planMoves sorts the list so candidates are visited in ascending
+	// key order — the old channel-then-VC scan order the round-robin
+	// arbiter state depends on.
+	activeBufs    []int32
+	activePos     []int32
+	totalBuffered int
+
+	// pend is a circular FIFO of flits propagating on wires. Every wire
+	// has the same delay (LinkLatency), so landing order equals push order
+	// and arrivals pop off the front.
+	pend     []pendingFlit
+	pendHead int
+	pendLen  int
+
+	outstanding int
+
+	faults      []LinkFault // sorted by Cycle; Run walks faultCursor over it
+	faultCursor int
+
+	activePkts []*packet // timeout bookkeeping: injected, not yet resolved
+	dirty      []*packet // dropped packets whose flits are not fully reaped
+
+	// Per-output-port arbitration scratch, reused every cycle (see
+	// arbiter.go).
+	arb        []arbPort
+	arbLast    []int32
+	arbTouched []int32
+	arbStamp   int64
+
+	moves      []move // planMoves scratch, reused every cycle
+	nextInject int    // earliest future InjectCycle among queue fronts
+
+	// hook, when set, runs after a packet's tail flit is delivered. It may
+	// call AddPacket to inject follow-up traffic (acknowledgments, read
+	// responses, interrupts) — the mechanism the ServerNet transaction
+	// layer in internal/servernet builds on.
+	hook func(spec PacketSpec, now int)
+	// dropHook, when set, runs after a packet is discarded (disable
+	// violation, fault, or retry exhaustion). It may call AddPacket to
+	// re-issue the transfer — e.g. over the other fabric of a dual
+	// configuration.
+	dropHook func(spec PacketSpec, now int)
+}
+
+// OnDelivered installs a delivery hook invoked after each packet's tail
+// arrives; the hook may schedule new packets with AddPacket (their
+// InjectCycle must not be in the past).
+func (s *Simulator) OnDelivered(hook func(spec PacketSpec, now int)) { s.hook = hook }
+
+// OnDropped installs a hook invoked after a packet is permanently discarded
+// (path-disable violation, link fault, or retry exhaustion); it may
+// re-issue the transfer with AddPacket, e.g. over a standby fabric.
+func (s *Simulator) OnDropped(hook func(spec PacketSpec, now int)) { s.dropHook = hook }
+
+// ScheduleFault arranges for a link to fail at the given cycle. The cycle
+// must lie inside the simulation horizon [0, MaxCycles) and the link must
+// exist: out-of-range faults used to be accepted silently and then never
+// fire, which made fault-injection experiments impossible to misconfigure
+// loudly. Faults are kept sorted by cycle so Run advances a cursor instead
+// of rescanning the list every cycle; a fault scheduled mid-run for a cycle
+// that already elapsed never fires (as before).
+func (s *Simulator) ScheduleFault(f LinkFault) error {
+	if f.Cycle < 0 || f.Cycle >= s.cfg.MaxCycles {
+		return fmt.Errorf("sim: fault cycle %d outside the simulation horizon [0, %d)",
+			f.Cycle, s.cfg.MaxCycles)
+	}
+	if f.Link < 0 || int(f.Link) >= s.net.NumLinks() {
+		return fmt.Errorf("sim: fault link %d out of range (network has %d links)",
+			f.Link, s.net.NumLinks())
+	}
+	i := len(s.faults)
+	for i > 0 && s.faults[i-1].Cycle > f.Cycle {
+		i--
+	}
+	s.faults = append(s.faults, LinkFault{})
+	copy(s.faults[i+1:], s.faults[i:])
+	s.faults[i] = f
+	return nil
+}
+
+// New creates a simulator over a network with the given disable matrix
+// (use router.AllowAll for an unrestricted crossbar).
+func New(net *topology.Network, dis *router.Disables, cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	numCh := net.NumChannels()
+	numKeys := numCh * cfg.VirtualChannels
+	s := &Simulator{
+		net:         net,
+		dis:         dis,
+		cfg:         cfg,
+		depth:       cfg.FIFODepth,
+		queues:      make([][]*packet, net.NumNodes()),
+		seqs:        make(map[[2]int]int),
+		chDstIsNode: make([]bool, numCh),
+		chSrcPort:   make([]int32, numCh),
+		chLink:      make([]topology.LinkID, numCh),
+		chAllowed:   make([][]bool, numCh),
+		chOutPort:   make([]int32, numCh),
+		bufFlits:    make([]flit, numKeys*cfg.FIFODepth),
+		bufHead:     make([]int32, numKeys),
+		bufLen:      make([]int32, numKeys),
+		inflight:    make([]int32, numKeys),
+		owner:       make([]int32, numKeys),
+		deadLink:    make([]bool, net.NumLinks()),
+		busyCh:      make([]int, numCh),
+		activePos:   make([]int32, numKeys),
+	}
+	for i := range s.owner {
+		s.owner[i] = -1
+	}
+	for i := range s.activePos {
+		s.activePos[i] = -1
+	}
+	// Global output-port index: ports numbered by (device, port) ascending.
+	// Granted ports sorted by this index reproduce the old sorted-physKey
+	// grant emission order exactly.
+	ports := 0
+	portBase := make([]int32, net.NumDevices())
+	for _, d := range net.Devices() {
+		portBase[d.ID] = int32(ports)
+		ports += d.Ports
+	}
+	s.arb = make([]arbPort, ports)
+	s.arbLast = make([]int32, ports)
+	for c := 0; c < numCh; c++ {
+		ch := topology.ChannelID(c)
+		src, dst := net.ChannelSrc(ch), net.ChannelDst(ch)
+		s.chSrcPort[c] = int32(src.Port)
+		s.chLink[c] = net.ChannelLink(ch)
+		s.chOutPort[c] = portBase[src.Device] + int32(src.Port)
+		if net.Device(dst.Device).Kind == topology.Node {
+			s.chDstIsNode[c] = true
+		} else {
+			// The row aliases the live disable matrix, so Enable/Disable
+			// calls made after New remain visible.
+			s.chAllowed[c] = dis.Row(dst.Device, dst.Port)
+		}
+	}
+	return s
+}
+
+func (s *Simulator) bufKey(ch topology.ChannelID, vc int) int {
+	return int(ch)*s.cfg.VirtualChannels + vc
+}
+
+// AddPacket schedules a packet with an explicit route. Using routes rather
+// than live table lookups lets experiments inject per-packet path choices
+// (the in-order ablation) and corrupted-table routes.
+func (s *Simulator) AddPacket(spec PacketSpec, route routing.Route) error {
+	if spec.Flits < 1 {
+		return fmt.Errorf("sim: packet needs at least 1 flit, got %d", spec.Flits)
+	}
+	if spec.Src < 0 || spec.Src >= len(s.queues) {
+		return fmt.Errorf("sim: source %d is not a node address (network has %d nodes)",
+			spec.Src, len(s.queues))
+	}
+	if route.Src != spec.Src || route.Dst != spec.Dst {
+		return fmt.Errorf("sim: route %d->%d does not match spec %d->%d",
+			route.Src, route.Dst, spec.Src, spec.Dst)
+	}
+	for i := range route.Channels {
+		if v := route.VCAt(i); v < 0 || v >= s.cfg.VirtualChannels {
+			return fmt.Errorf("sim: route hop %d uses VC %d but the simulator has %d VCs",
+				i, v, s.cfg.VirtualChannels)
+		}
+	}
+	p := &packet{
+		id:    len(s.packets),
+		spec:  spec,
+		route: route.Channels,
+		vcs:   route.VCs,
+		seq:   s.seqs[[2]int{spec.Src, spec.Dst}],
+	}
+	s.seqs[[2]int{spec.Src, spec.Dst}]++
+	s.packets = append(s.packets, p)
+	s.queues[spec.Src] = append(s.queues[spec.Src], p)
+	s.outstanding++
+	return nil
+}
+
+// AddBatch routes each spec through the tables and schedules it.
+func (s *Simulator) AddBatch(t *routing.Tables, specs []PacketSpec) error {
+	for _, spec := range specs {
+		r, err := t.Route(spec.Src, spec.Dst)
+		if err != nil {
+			return err
+		}
+		if err := s.AddPacket(spec, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bufPush appends a flit to a buffer's ring, activating the buffer on the
+// 0 -> 1 transition and maintaining the owning packet's buffered-flit count.
+func (s *Simulator) bufPush(key int, f flit) {
+	i := int(s.bufHead[key]) + int(s.bufLen[key])
+	if i >= s.depth {
+		i -= s.depth
+	}
+	s.bufFlits[key*s.depth+i] = f
+	if s.bufLen[key] == 0 {
+		s.activePos[key] = int32(len(s.activeBufs))
+		s.activeBufs = append(s.activeBufs, int32(key))
+	}
+	s.bufLen[key]++
+	s.totalBuffered++
+	f.pkt.flitsBuf++
+}
+
+// bufPop removes a buffer's head flit, swap-removing the buffer from the
+// active worklist on the 1 -> 0 transition.
+func (s *Simulator) bufPop(key int) flit {
+	f := s.bufFlits[key*s.depth+int(s.bufHead[key])]
+	h := s.bufHead[key] + 1
+	if int(h) == s.depth {
+		h = 0
+	}
+	s.bufHead[key] = h
+	s.bufLen[key]--
+	if s.bufLen[key] == 0 {
+		pos := s.activePos[key]
+		last := s.activeBufs[len(s.activeBufs)-1]
+		s.activeBufs[pos] = last
+		s.activePos[last] = pos
+		s.activeBufs = s.activeBufs[:len(s.activeBufs)-1]
+		s.activePos[key] = -1
+	}
+	s.totalBuffered--
+	f.pkt.flitsBuf--
+	return f
+}
+
+// space reports whether one more flit may be committed toward a buffer:
+// ejection channels always accept (the node consumes immediately); router
+// buffers accept while resident plus in-flight flits stay under FIFODepth.
+func (s *Simulator) space(key int) bool {
+	if s.chDstIsNode[key/s.cfg.VirtualChannels] {
+		return true
+	}
+	return int(s.bufLen[key])+int(s.inflight[key]) < s.depth
+}
+
+func (s *Simulator) pushPending(pf pendingFlit) {
+	if s.pendLen == len(s.pend) {
+		grown := make([]pendingFlit, max(64, 2*len(s.pend)))
+		n := copy(grown, s.pend[s.pendHead:])
+		copy(grown[n:], s.pend[:s.pendHead])
+		s.pend = grown
+		s.pendHead = 0
+	}
+	i := s.pendHead + s.pendLen
+	if i >= len(s.pend) {
+		i -= len(s.pend)
+	}
+	s.pend[i] = pf
+	s.pendLen++
+}
+
+func (s *Simulator) popPending() pendingFlit {
+	pf := s.pend[s.pendHead]
+	s.pendHead++
+	if s.pendHead == len(s.pend) {
+		s.pendHead = 0
+	}
+	s.pendLen--
+	return pf
+}
+
+// release frees the given output-VC buffer key if the worm holds it.
+func (s *Simulator) release(p *packet, out int32) {
+	for i, k := range p.owned {
+		if k == out {
+			s.owner[out] = -1
+			p.owned = append(p.owned[:i], p.owned[i+1:]...)
+			return
+		}
+	}
+}
+
+// trackActive registers a packet for O(active-packets) timeout bookkeeping.
+func (s *Simulator) trackActive(p *packet) {
+	if !p.inActive {
+		p.inActive = true
+		s.activePkts = append(s.activePkts, p)
+	}
+}
+
+// markDropped queues a newly dropped packet for reaping. Idempotent: a
+// packet stays on the dirty list until its flits drain and it retires or
+// retries.
+func (s *Simulator) markDropped(p *packet) {
+	if !p.inDirty {
+		p.inDirty = true
+		s.dirty = append(s.dirty, p)
+	}
+}
+

@@ -263,7 +263,9 @@ func TestScheduledLinkFault(t *testing.T) {
 	s := sim.New(fm.Network, router.AllowAll(fm.Network), sim.Config{})
 	drops := 0
 	s.OnDropped(func(spec sim.PacketSpec, now int) { drops++ })
-	s.ScheduleFault(sim.LinkFault{Cycle: 0, Link: link})
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 0, Link: link}); err != nil {
+		t.Fatal(err)
+	}
 	// Cross-router traffic dies; same-router traffic survives.
 	if err := s.AddBatch(tb, []sim.PacketSpec{
 		{Src: 0, Dst: 9, Flits: 4}, // router 0 -> router 1: killed
@@ -288,7 +290,9 @@ func TestFaultMidWorm(t *testing.T) {
 	if err := s.AddBatch(tb, []sim.PacketSpec{{Src: 0, Dst: 9, Flits: 40}}); err != nil {
 		t.Fatal(err)
 	}
-	s.ScheduleFault(sim.LinkFault{Cycle: 5, Link: link})
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 5, Link: link}); err != nil {
+		t.Fatal(err)
+	}
 	res := s.Run()
 	if res.Dropped != 1 || res.Delivered != 0 {
 		t.Fatalf("delivered=%d dropped=%d, want 0/1", res.Delivered, res.Dropped)
