@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint certify verify-fabric
+.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint certify verify-fabric chaos-smoke
 
 all: build test
 
@@ -40,12 +40,21 @@ verify-fabric:
 # check is the CI gate: go vet, the simlint determinism suite, the static
 # deadlock certificates, the whole-fabric verification matrix, the full
 # test suite under the race detector (the parallel experiment engine must
-# be race-clean), and one pass over every benchmark so a broken benchmark
-# cannot land silently.
+# be race-clean), one pass over every benchmark so a broken benchmark
+# cannot land silently, and a small chaos-recovery campaign.
 check: lint certify verify-fabric
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) chaos-smoke
+
+# chaos-smoke runs a small deterministic fault-recovery campaign on the
+# dual fractahedron pair (link kill + link flap + router kill per trial)
+# and writes the campaign JSON; equal seeds reproduce it byte for byte at
+# any worker count.
+chaos-smoke:
+	mkdir -p bin
+	$(GO) run ./cmd/chaos -trials 2 -packets 200 -flits 3 -seed 2 -json bin/chaos-smoke.json
 
 race:
 	$(GO) test -race ./...

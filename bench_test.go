@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/contention"
@@ -329,6 +330,55 @@ func BenchmarkFract3SimulatorLoad(b *testing.B) {
 		res, err := sys.Simulate(specs, sim.Config{FIFODepth: 4})
 		if err != nil || res.Deadlocked || res.Delivered != 2000 {
 			b.Fatalf("err=%v deadlocked=%v delivered=%d", err, res.Deadlocked, res.Delivered)
+		}
+	}
+}
+
+// BenchmarkChaosOff re-runs the exact BenchmarkFract3SimulatorLoad
+// scenario with every chaos-era hook installed but disabled — a zero-rate
+// corruption filter plus delivery and drop callbacks — and demands a
+// bit-identical Result. Compare its ns/op against Fract3SimulatorLoad in
+// BENCH_SIM.json: the disabled hooks must add no per-cycle cost.
+func BenchmarkChaosOff(b *testing.B) {
+	sys, _, err := core.NewFatFractahedron(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := sys.Net.NumNodes()
+	baseline, err := sys.Simulate(
+		workload.UniformRandom(rand.New(rand.NewSource(11)), nodes, 2000, 8, 1500),
+		sim.Config{FIFODepth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(11))
+		specs := workload.UniformRandom(rng, nodes, 2000, 8, 1500)
+		s := sim.New(sys.Net, sys.Disables, sim.Config{FIFODepth: 4})
+		if err := s.EnableCorruption(0, 11); err != nil {
+			b.Fatal(err)
+		}
+		s.OnDelivered(func(spec sim.PacketSpec, now int) {})
+		s.OnDropped(func(spec sim.PacketSpec, now int) {})
+		if err := s.AddBatch(sys.Tables, specs); err != nil {
+			b.Fatal(err)
+		}
+		if res := s.Run(); !reflect.DeepEqual(res, baseline) {
+			b.Fatalf("disabled chaos hooks disturbed the result:\n got %+v\nwant %+v", res, baseline)
+		}
+	}
+}
+
+// BenchmarkChaosRecovery times one full online fault-recovery trial on the
+// dual 64-node fractahedron pair (link kill + flap + router kill, hot
+// reconfiguration, dual-fabric retry failover).
+func BenchmarkChaosRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cr, err := experiments.ChaosRecovery(1, 300, 4, 2, runner.Workers(1))
+		if err != nil || cr.Lost != 0 || cr.Unresolved != 0 || cr.Reconfigurations == 0 {
+			b.Fatalf("err=%v campaign=%+v", err, cr)
 		}
 	}
 }

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment: claims figure1 figure2 figure3 figure5 table1 mesh hypercube fattree table2 deadlock avoidance zoo tables linkclass silicon frontier locality permutations saturation failover large sweep db ablations (default: all)")
+	only := flag.String("only", "", "run a single experiment: claims figure1 figure2 figure3 figure5 table1 mesh hypercube fattree table2 deadlock avoidance zoo tables linkclass silicon frontier locality permutations saturation failover chaos large sweep db ablations (default: all)")
 	levels := flag.Int("levels", 3, "maximum fractahedron depth for Table 1 / Figure 5")
 	quick := flag.Bool("quick", false, "reduce sizes for a fast smoke run")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
@@ -176,6 +176,17 @@ func main() {
 		{"failover", func() (fmt.Stringer, error) {
 			r, err := experiments.FailoverSim(400, 8, 60, 2, opts...)
 			return r, err
+		}},
+		{"chaos", func() (fmt.Stringer, error) {
+			trials := 4
+			if *quick {
+				trials = 2
+			}
+			cr, err := experiments.ChaosRecovery(trials, 300, 4, 2, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return str(experiments.ChaosRecoveryString(cr)), nil
 		}},
 		{"large", func() (fmt.Stringer, error) {
 			rates := []float64{0.002, 0.01, 0.03}

@@ -24,6 +24,7 @@ var scope = map[string]bool{
 	"repro/internal/workload":    true,
 	"repro/internal/experiments": true,
 	"repro/internal/fabricver":   true,
+	"repro/internal/chaos":       true,
 }
 
 // allowWallClock maps package path to file base names where wall-clock
@@ -36,10 +37,10 @@ var allowWallClock = map[string]map[string]bool{
 // randConstructors are the math/rand package-level functions that build
 // explicit generators rather than draw from the global one.
 var randConstructors = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true,
 }
 

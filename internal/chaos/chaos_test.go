@@ -1,0 +1,218 @@
+package chaos_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// buildFract2 is the level-2 fat fractahedron (64 nodes) the acceptance
+// scenario runs on.
+func buildFract2() (*topology.Network, *routing.Tables) {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	return f.Network, routing.Fractahedron(f)
+}
+
+func engineConfig() chaos.Config {
+	return chaos.Config{
+		Build:       buildFract2,
+		Sim:         sim.Config{FIFODepth: 4, TimeoutCycles: 200, MaxRetries: 1},
+		Reconfigure: true,
+	}
+}
+
+func TestGeneratePlanDeterministic(t *testing.T) {
+	net, _ := buildFract2()
+	spec := chaos.PlanSpec{LinkKills: 2, LinkFlaps: 1, RouterKills: 1, Window: 50, RepairAfter: 100}
+	a, err := chaos.GeneratePlan(runner.RNG(3, 0), net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.GeneratePlan(runner.RNG(3, 0), net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("equal seeds generated different plans:\n%+v\n%+v", a, b)
+	}
+	if len(a.Faults) != 4 {
+		t.Fatalf("faults = %d, want 4", len(a.Faults))
+	}
+	kinds := map[chaos.FaultKind]int{}
+	for _, f := range a.Faults {
+		kinds[f.Kind]++
+		if f.Cycle < 1 || f.Cycle > spec.Window {
+			t.Errorf("fault cycle %d outside [1, %d]", f.Cycle, spec.Window)
+		}
+		if f.Kind == chaos.LinkFlap && f.Repair != f.Cycle+spec.RepairAfter {
+			t.Errorf("flap repair %d, want cycle+%d", f.Repair, spec.RepairAfter)
+		}
+	}
+	if kinds[chaos.LinkKill] != 2 || kinds[chaos.LinkFlap] != 1 || kinds[chaos.RouterKill] != 1 {
+		t.Fatalf("kind mix = %v", kinds)
+	}
+	if first := a.FirstCycle(); first < 1 || first > spec.Window {
+		t.Fatalf("FirstCycle = %d", first)
+	}
+}
+
+func TestGeneratePlanValidation(t *testing.T) {
+	net, _ := buildFract2()
+	cases := []chaos.PlanSpec{
+		{LinkKills: 1},                     // no window
+		{LinkFlaps: 1, Window: 10},         // flap without RepairAfter
+		{LinkKills: 1 << 20, Window: 10},   // more link faults than links
+		{RouterKills: 1 << 20, Window: 10}, // more router kills than routers
+	}
+	for i, spec := range cases {
+		if _, err := chaos.GeneratePlan(runner.RNG(1, 0), net, spec); err == nil {
+			t.Errorf("case %d: spec %+v accepted", i, spec)
+		}
+	}
+}
+
+// TestRecoveryLevel2 is the acceptance scenario: a seeded plan with three
+// faults — a permanent link kill, a transient flap, and a router kill — on
+// a level-2 fractahedron. Every transfer must end delivered or accounted
+// lost with its retry budget exhausted, and at least one hot
+// reconfiguration must have been re-certified and swapped in.
+func TestRecoveryLevel2(t *testing.T) {
+	net, _ := buildFract2()
+	rng := runner.RNG(11, 0)
+	plan, err := chaos.GeneratePlan(rng, net, chaos.PlanSpec{
+		LinkKills: 1, LinkFlaps: 1, RouterKills: 1, Window: 40, RepairAfter: 160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := workload.UniformRandom(rng, net.NumNodes(), 300, 4, 80)
+	res, err := chaos.Run(engineConfig(), plan, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers != 300 {
+		t.Fatalf("transfers = %d", res.Transfers)
+	}
+	if got := res.DeliveredX + res.DeliveredY + res.Lost + res.Unresolved; got != res.Transfers {
+		t.Fatalf("accounting: X %d + Y %d + lost %d + unresolved %d != %d",
+			res.DeliveredX, res.DeliveredY, res.Lost, res.Unresolved, res.Transfers)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("%d transfers unresolved (X deadlocked=%v, Y deadlocked=%v)",
+			res.Unresolved, res.XDeadlocked, res.YDeadlocked)
+	}
+	if res.XDeadlocked || res.YDeadlocked {
+		t.Fatalf("deadlock: X=%v Y=%v", res.XDeadlocked, res.YDeadlocked)
+	}
+	if res.Drops == 0 || res.Reissues == 0 {
+		t.Fatalf("faults had no effect: drops=%d reissues=%d", res.Drops, res.Reissues)
+	}
+	if res.DeliveredY == 0 {
+		t.Fatalf("no transfer failed over to Y (reissues=%d lost=%d)", res.Reissues, res.Lost)
+	}
+	if res.Reconfigurations == 0 {
+		t.Fatalf("no hot reconfiguration happened (recert failures=%d)", res.RecertFailures)
+	}
+	if !res.FinalCertified {
+		t.Fatal("final swapped configuration is not certified")
+	}
+	if res.RecoveryCycles <= 0 {
+		t.Fatalf("RecoveryCycles = %d, want positive (recovered deliveries exist)", res.RecoveryCycles)
+	}
+
+	// Byte-for-byte repeatability of the whole result.
+	res2, err := chaos.Run(engineConfig(), plan, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("rerun diverged:\n%+v\n%+v", res, res2)
+	}
+}
+
+// TestNoFaultsNoOverhead pins the quiet path: an empty plan delivers
+// everything on X with zero drops, re-issues, or reconfigurations.
+func TestNoFaultsNoOverhead(t *testing.T) {
+	net, _ := buildFract2()
+	specs := workload.UniformRandom(runner.RNG(4, 0), net.NumNodes(), 200, 4, 60)
+	res, err := chaos.Run(engineConfig(), chaos.Plan{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredX != 200 || res.DeliveredY != 0 || res.Drops != 0 ||
+		res.Reissues != 0 || res.Lost != 0 || res.Unresolved != 0 ||
+		res.Reconfigurations != 0 {
+		t.Fatalf("quiet run disturbed: %+v", res)
+	}
+	if res.FirstFaultCycle != 0 || res.RecoveryCycles != 0 || res.DipDepthPct != 0 {
+		t.Fatalf("fault metrics nonzero on quiet run: %+v", res)
+	}
+}
+
+// TestCorruptionDrops exercises the probabilistic flit-corruption path:
+// with a high rate, packets die mid-flight and the retry machinery still
+// accounts for every transfer.
+func TestCorruptionDrops(t *testing.T) {
+	net, _ := buildFract2()
+	specs := workload.UniformRandom(runner.RNG(9, 0), net.NumNodes(), 150, 4, 60)
+	plan := chaos.Plan{CorruptionRate: 0.02, CorruptionSeed: 0xfeed}
+	res, err := chaos.Run(engineConfig(), plan, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Fatal("2% corruption produced no drops")
+	}
+	if got := res.DeliveredX + res.DeliveredY + res.Lost + res.Unresolved; got != res.Transfers {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("%d unresolved", res.Unresolved)
+	}
+}
+
+// TestCampaignWorkerDeterminism pins the campaign JSON byte-for-byte
+// across worker counts — the acceptance criterion for reproducibility.
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	spec := chaos.CampaignSpec{
+		Trials:  3,
+		Packets: 150,
+		Flits:   3,
+		Window:  60,
+		Seed:    5,
+		Plan:    chaos.PlanSpec{LinkKills: 1, LinkFlaps: 1, RouterKills: 1, Window: 40, RepairAfter: 120},
+		Engine:  engineConfig(),
+	}
+	one, err := chaos.Campaign(spec, runner.NewConfig(runner.Workers(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := chaos.Campaign(spec, runner.NewConfig(runner.Workers(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := one.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := four.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Fatalf("campaign JSON differs between 1 and 4 workers:\n%s\n---\n%s", j1, j4)
+	}
+	if one.Transfers != 3*150 {
+		t.Fatalf("campaign transfers = %d", one.Transfers)
+	}
+	if one.Delivered+one.Lost+one.Unresolved != one.Transfers {
+		t.Fatalf("campaign accounting broken: %+v", one)
+	}
+}

@@ -1,0 +1,163 @@
+// Package chaos injects runtime faults into live dual-fabric simulations
+// and drives online recovery: end-node timeout detection, hot
+// reconfiguration of routing tables and path-disables for the degraded
+// topology (re-certified acyclic+connected before the swap), and
+// retry-with-backoff failover onto the alternate fabric — the full §1/§2
+// fault-tolerance story of the paper, simulated rather than analyzed.
+//
+// Everything is deterministic from the campaign seed: fault plans are drawn
+// from an explicit *rand.Rand, flit corruption is hash-based inside the
+// simulator, and the two fabrics co-simulate in lock step, so a campaign's
+// JSON is byte-identical for any worker count.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// FaultKind distinguishes the injected failure modes.
+type FaultKind int
+
+const (
+	// LinkKill downs one inter-router link permanently.
+	LinkKill FaultKind = iota
+	// LinkFlap downs one inter-router link transiently; it returns to
+	// service at Repair.
+	LinkFlap
+	// RouterKill downs every link of one router atomically and permanently.
+	RouterKill
+)
+
+// String names the fault kind for reports and JSON.
+func (k FaultKind) String() string {
+	switch k {
+	case LinkKill:
+		return "link-kill"
+	case LinkFlap:
+		return "link-flap"
+	case RouterKill:
+		return "router-kill"
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// Fault is one scheduled failure on one fabric.
+type Fault struct {
+	Fabric int // 0 = X, 1 = Y
+	Kind   FaultKind
+	Cycle  int
+	Repair int               // repair cycle, LinkFlap only
+	Link   topology.LinkID   // LinkKill / LinkFlap
+	Router topology.DeviceID // RouterKill
+}
+
+// Plan is the full chaos schedule of one trial.
+type Plan struct {
+	Faults []Fault
+	// CorruptionRate is the per-flit-crossing corruption probability
+	// applied to both fabrics (0 disables it); CorruptionSeed keys the
+	// hash deciding each crossing.
+	CorruptionRate float64
+	CorruptionSeed uint64
+}
+
+// PlanSpec shapes a generated plan.
+type PlanSpec struct {
+	LinkKills   int
+	LinkFlaps   int
+	RouterKills int
+	// Window bounds fault cycles: each fault lands in [1, Window].
+	Window int
+	// RepairAfter is the flap duration in cycles.
+	RepairAfter int
+	// SpreadFabrics, when set, draws each fault's fabric at random;
+	// otherwise all faults land on X and Y stays the pristine standby.
+	SpreadFabrics bool
+	// CorruptionRate, when positive, adds probabilistic flit corruption.
+	CorruptionRate float64
+}
+
+// GeneratePlan draws a fault plan from rng. Link faults pick distinct
+// inter-router links (end-node links are not fault candidates: §1 recovers
+// a dead node link through the node's other port, i.e. the other fabric,
+// which RouterKill already exercises); router kills pick distinct routers.
+// The plan depends only on the rng stream and the network shape, so equal
+// seeds generate equal plans.
+func GeneratePlan(rng *rand.Rand, net *topology.Network, spec PlanSpec) (Plan, error) {
+	if spec.Window <= 0 {
+		return Plan{}, fmt.Errorf("chaos: plan window must be positive, got %d", spec.Window)
+	}
+	if spec.LinkFlaps > 0 && spec.RepairAfter <= 0 {
+		return Plan{}, fmt.Errorf("chaos: link flaps need a positive RepairAfter, got %d", spec.RepairAfter)
+	}
+	var irLinks []topology.LinkID
+	for _, l := range net.Links() {
+		if net.Device(l.A.Device).Kind == topology.Router &&
+			net.Device(l.B.Device).Kind == topology.Router {
+			irLinks = append(irLinks, l.ID)
+		}
+	}
+	var routers []topology.DeviceID
+	for _, d := range net.Devices() {
+		if d.Kind == topology.Router {
+			routers = append(routers, d.ID)
+		}
+	}
+	linkFaults := spec.LinkKills + spec.LinkFlaps
+	if linkFaults > len(irLinks) {
+		return Plan{}, fmt.Errorf("chaos: plan wants %d link faults but the network has only %d inter-router links",
+			linkFaults, len(irLinks))
+	}
+	if spec.RouterKills > len(routers) {
+		return Plan{}, fmt.Errorf("chaos: plan wants %d router kills but the network has only %d routers",
+			spec.RouterKills, len(routers))
+	}
+
+	plan := Plan{CorruptionRate: spec.CorruptionRate}
+	fabricOf := func() int {
+		if spec.SpreadFabrics {
+			return rng.Intn(2)
+		}
+		return 0
+	}
+	linkPerm := rng.Perm(len(irLinks))
+	for i := 0; i < spec.LinkKills; i++ {
+		plan.Faults = append(plan.Faults, Fault{
+			Fabric: fabricOf(), Kind: LinkKill,
+			Cycle: 1 + rng.Intn(spec.Window), Link: irLinks[linkPerm[i]],
+		})
+	}
+	for i := 0; i < spec.LinkFlaps; i++ {
+		cycle := 1 + rng.Intn(spec.Window)
+		plan.Faults = append(plan.Faults, Fault{
+			Fabric: fabricOf(), Kind: LinkFlap,
+			Cycle: cycle, Repair: cycle + spec.RepairAfter,
+			Link: irLinks[linkPerm[spec.LinkKills+i]],
+		})
+	}
+	routerPerm := rng.Perm(len(routers))
+	for i := 0; i < spec.RouterKills; i++ {
+		plan.Faults = append(plan.Faults, Fault{
+			Fabric: fabricOf(), Kind: RouterKill,
+			Cycle: 1 + rng.Intn(spec.Window), Router: routers[routerPerm[i]],
+		})
+	}
+	if spec.CorruptionRate > 0 {
+		plan.CorruptionSeed = rng.Uint64()
+	}
+	return plan, nil
+}
+
+// FirstCycle returns the earliest fault cycle of the plan (0 when empty).
+func (p Plan) FirstCycle() int {
+	first := 0
+	for _, f := range p.Faults {
+		if first == 0 || f.Cycle < first {
+			first = f.Cycle
+		}
+	}
+	return first
+}

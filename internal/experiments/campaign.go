@@ -44,3 +44,22 @@ func timed(stats *runner.Stats, label string, run func() sim.Result) sim.Result 
 	})
 	return res
 }
+
+// timedCost is timed for composite engines (dual-fabric chaos recovery)
+// that report their own cycle and flit-move totals: the closure runs the
+// engine and returns its cost, which is recorded under label together with
+// the wall time.
+func timedCost(stats *runner.Stats, label string, run func() (cycles, flitMoves int, err error)) error {
+	start := time.Now()
+	cycles, moves, err := run()
+	if err != nil {
+		return err
+	}
+	stats.Record(runner.Stat{
+		Label:     label,
+		Cycles:    cycles,
+		FlitMoves: moves,
+		Wall:      time.Since(start),
+	})
+	return nil
+}

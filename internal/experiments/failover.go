@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/fabric"
+	"repro/internal/chaos"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -20,36 +20,37 @@ type FailoverResult struct {
 	FaultCycle  int
 	DeliveredX  int // completed on the primary fabric
 	Dropped     int // killed by the fault on X
-	FailedOver  int // re-issued on Y by the driver
+	FailedOver  int // re-issued on Y by the recovery engine
 	DeliveredY  int
 	TotalLost   int
 	XDeadlocked bool
 	YDeadlocked bool
 }
 
+// dualFractahedron builds one fabric of the failover/chaos experiments'
+// 64-node fat fractahedron pair.
+func dualFractahedron() (*topology.Network, *routing.Tables) {
+	f := topology.NewFractahedron(topology.Tetra(2, true))
+	return f.Network, routing.Fractahedron(f)
+}
+
 // FailoverSim drives a uniform load over the X fabric of a dual
 // fat-fractahedron pair, kills a heavily used inter-router link mid-run,
-// and re-issues every killed transfer over the Y fabric — the software
-// failover ServerNet's dual fabrics enable. No transfer is lost.
+// and lets the chaos recovery engine re-issue every killed transfer over
+// the co-simulated Y fabric — the software failover ServerNet's dual
+// fabrics enable. No transfer is lost.
 //
-// The Y run consumes the X run's drop list, so the two fabrics are
-// inherently sequential; the experiment still joins the campaign for cost
-// accounting. The single rng feeds only the workload generator (victim
-// selection is a deterministic argmax over route counts), so the run is
-// reproducible from the seed alone.
+// The two fabrics co-simulate in lock step inside chaos.Run, with X drops
+// feeding Y injections a backoff later. The single rng feeds only the
+// workload generator (victim selection is a deterministic argmax over route
+// counts), so the run is reproducible from the seed alone.
 func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Option) (FailoverResult, error) {
 	cfg := runner.NewConfig(opts...)
 	res := FailoverResult{Packets: packets, FaultCycle: faultCycle}
 
-	dual, err := fabric.NewDual(func() (*topology.Network, *routing.Tables) {
-		f := topology.NewFractahedron(topology.Tetra(2, true))
-		return f.Network, routing.Fractahedron(f)
-	})
-	if err != nil {
-		return res, err
-	}
-	netX, tbX := dual.Net[fabric.X], dual.Tables[fabric.X]
-	netY, tbY := dual.Net[fabric.Y], dual.Tables[fabric.Y]
+	// A reference copy of the fabric, for workload shaping and victim
+	// selection; chaos.Run builds its own pair from the same closure.
+	netX, tbX := dualFractahedron()
 
 	// The failover run is a single simulation point: point index 0 of its
 	// own seed space, per the seedflow discipline.
@@ -79,35 +80,28 @@ func FailoverSim(packets, flits, faultCycle int, seed int64, opts ...runner.Opti
 		}
 	}
 
-	simX := sim.New(netX, routerAllowAll(netX), sim.Config{FIFODepth: 4})
-	var failedOver []sim.PacketSpec
-	simX.OnDropped(func(spec sim.PacketSpec, now int) {
-		failedOver = append(failedOver, sim.PacketSpec{
-			Src: spec.Src, Dst: spec.Dst, Flits: spec.Flits, InjectCycle: 0,
-		})
+	plan := chaos.Plan{Faults: []chaos.Fault{
+		{Fabric: 0, Kind: chaos.LinkKill, Cycle: faultCycle, Link: victim},
+	}}
+	var cr chaos.Result
+	err := timedCost(cfg.Stats, "failover dual fabric", func() (int, int, error) {
+		var err error
+		cr, err = chaos.Run(chaos.Config{
+			Build: dualFractahedron,
+			Sim:   sim.Config{FIFODepth: 4},
+		}, plan, specs)
+		return cr.Cycles, cr.FlitMoves, err
 	})
-	if err := simX.ScheduleFault(sim.LinkFault{Cycle: faultCycle, Link: victim}); err != nil {
+	if err != nil {
 		return res, err
 	}
-	if err := simX.AddBatch(tbX, specs); err != nil {
-		return res, err
-	}
-	resX := timed(cfg.Stats, "failover fabric X", simX.Run)
-	res.DeliveredX = resX.Delivered
-	res.Dropped = resX.Dropped
-	res.XDeadlocked = resX.Deadlocked
-	res.FailedOver = len(failedOver)
-
-	if len(failedOver) > 0 {
-		simY := sim.New(netY, routerAllowAll(netY), sim.Config{FIFODepth: 4})
-		if err := simY.AddBatch(tbY, failedOver); err != nil {
-			return res, err
-		}
-		resY := timed(cfg.Stats, "failover fabric Y", simY.Run)
-		res.DeliveredY = resY.Delivered
-		res.YDeadlocked = resY.Deadlocked
-	}
-	res.TotalLost = packets - res.DeliveredX - res.DeliveredY
+	res.DeliveredX = cr.DeliveredX
+	res.Dropped = cr.Drops
+	res.FailedOver = cr.Reissues
+	res.DeliveredY = cr.DeliveredY
+	res.TotalLost = cr.Lost + cr.Unresolved
+	res.XDeadlocked = cr.XDeadlocked
+	res.YDeadlocked = cr.YDeadlocked
 	return res, nil
 }
 

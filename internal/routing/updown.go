@@ -27,11 +27,42 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 	if net.Device(root).Kind != topology.Router {
 		panic(fmt.Sprintf("routing: up*/down* root %d is not a router", root))
 	}
+	return upDown(net, root, "updown-generic", nil, nil, true)
+}
+
+// UpDownDegraded builds up*/down* tables for a topology with failed
+// elements, for online reconfiguration: linkDead and routerDead (either may
+// be nil) mask out faulty hardware, and destinations unreachable from a
+// router in the surviving root component get table holes (-1) instead of a
+// panic — Route/Next surface those as errors, which is what a recovery
+// controller wants when the fabric has split. The walk discipline, tie
+// breaks, and table expressibility are identical to UpDownGeneric, so the
+// same §2.4 argument applies: the swept turn set of the degraded tables is
+// acyclic, and minimal disables derived from it keep even stale-route
+// traffic deadlock-free.
+func UpDownDegraded(net *topology.Network, root topology.DeviceID,
+	linkDead func(topology.LinkID) bool,
+	routerDead func(topology.DeviceID) bool) (*Tables, error) {
+	if net.Device(root).Kind != topology.Router {
+		return nil, fmt.Errorf("routing: up*/down* root %d is not a router", root)
+	}
+	if routerDead != nil && routerDead(root) {
+		return nil, fmt.Errorf("routing: up*/down* root %d is itself dead", root)
+	}
+	return upDown(net, root, "updown-degraded", linkDead, routerDead, false), nil
+}
+
+// upDown is the shared up*/down* table builder. strict mode panics when any
+// reached router cannot reach a destination (UpDownGeneric's historical
+// contract, which the fabric verifier traps); degraded mode records holes.
+func upDown(net *topology.Network, root topology.DeviceID, algorithm string,
+	linkDead func(topology.LinkID) bool,
+	routerDead func(topology.DeviceID) bool, strict bool) *Tables {
 
 	// Breadth-first levels over routers only. Dense device-indexed slices
 	// throughout: the fabric verifier rebuilds these tables once per fault
 	// inside its single-fault enumeration, so the per-destination loops are
-	// hot. level < 0 marks "not a (reached) router".
+	// hot. level < 0 marks "not a (reached, live) router".
 	nDev := net.NumDevices()
 	level := make([]int, nDev)
 	for i := range level {
@@ -44,11 +75,14 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 		queue = queue[1:]
 		for p := 0; p < net.Device(u).Ports; p++ {
 			l, ok := net.LinkAt(u, p)
-			if !ok {
+			if !ok || (linkDead != nil && linkDead(l)) {
 				continue
 			}
 			v := net.OtherEnd(l, u).Device
 			if net.Device(v).Kind != topology.Router {
+				continue
+			}
+			if routerDead != nil && routerDead(v) {
 				continue
 			}
 			if level[v] < 0 {
@@ -106,9 +140,13 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 			panic(fmt.Sprintf("routing: node %d unwired", dst))
 		}
 		// The router holding the destination node "reaches it downward"
-		// through the node port.
+		// through the node port — unless the node's own link is down or its
+		// router is outside the surviving component, which severs the node
+		// entirely (every router gets a hole for it).
 		far := net.OtherEnd(l, dstDev)
-		down[far.Device] = hop{dist: 1, port: far.Port}
+		if (linkDead == nil || !linkDead(l)) && level[far.Device] >= 0 {
+			down[far.Device] = hop{dist: 1, port: far.Port}
+		}
 
 		// Pure-down distances propagate from routers above to routers
 		// below... a down step at u goes to a LOWER router v (higher(u, v)
@@ -121,12 +159,12 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 			best := down[u]
 			for p := 0; p < net.Device(u).Ports; p++ {
 				l, wired := net.LinkAt(u, p)
-				if !wired {
+				if !wired || (linkDead != nil && linkDead(l)) {
 					continue
 				}
 				v := net.OtherEnd(l, u).Device
-				if net.Device(v).Kind != topology.Router || higher(v, u) {
-					continue // only true down steps
+				if net.Device(v).Kind != topology.Router || level[v] < 0 || higher(v, u) {
+					continue // only true down steps to live routers
 				}
 				if hv := down[v]; hv.dist > 0 {
 					if best.dist == 0 || hv.dist+1 < best.dist {
@@ -145,12 +183,12 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 			best := down[u]
 			for p := 0; p < net.Device(u).Ports; p++ {
 				l, wired := net.LinkAt(u, p)
-				if !wired {
+				if !wired || (linkDead != nil && linkDead(l)) {
 					continue
 				}
 				v := net.OtherEnd(l, u).Device
-				if net.Device(v).Kind != topology.Router || !higher(v, u) {
-					continue // only true up steps
+				if net.Device(v).Kind != topology.Router || level[v] < 0 || !higher(v, u) {
+					continue // only true up steps within the live component
 				}
 				if hv := up[v]; hv.dist > 0 {
 					if best.dist == 0 || hv.dist+1 < best.dist {
@@ -158,7 +196,7 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 					}
 				}
 			}
-			if best.dist == 0 {
+			if best.dist == 0 && strict {
 				panic(fmt.Sprintf("routing: up*/down* cannot reach node %d from router %d (disconnected?)", dst, u))
 			}
 			up[u] = best
@@ -169,11 +207,23 @@ func UpDownGeneric(net *topology.Network, root topology.DeviceID) *Tables {
 			} else {
 				downPort[u][dst] = -1
 			}
-			upPort[u][dst] = up[u].port
+			if h := up[u]; h.dist > 0 {
+				upPort[u][dst] = h.port
+			} else {
+				upPort[u][dst] = -1 // degraded: dst severed from this component
+			}
 		}
 	}
 
-	return Build(net, "updown-generic", func(r topology.DeviceID, dst int) int {
+	return Build(net, algorithm, func(r topology.DeviceID, dst int) int {
+		if downPort[r] == nil {
+			// The router is dead or outside the root component; its table
+			// cannot say anything useful.
+			if strict {
+				panic(fmt.Sprintf("routing: up*/down* router %d unreachable from root %d", r, root))
+			}
+			return -1
+		}
 		if p := downPort[r][dst]; p >= 0 {
 			return p // pure-down reachable: stay in the down phase
 		}

@@ -72,7 +72,7 @@ func (s *Simulator) planMoves(now int) []move {
 			s.markDropped(p)
 			continue
 		}
-		if s.deadLink[s.chLink[next]] {
+		if s.deadCount[s.chLink[next]] > 0 {
 			// The worm is aimed at a failed link: the hardware kills it.
 			p.dropped = true
 			s.markDropped(p)
@@ -156,7 +156,7 @@ func (s *Simulator) planMoves(now int) []move {
 		if p.dropped {
 			continue
 		}
-		if s.deadLink[s.chLink[p.route[0]]] {
+		if s.deadCount[s.chLink[p.route[0]]] > 0 {
 			p.dropped = true
 			s.markDropped(p)
 			continue

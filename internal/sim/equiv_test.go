@@ -176,6 +176,74 @@ func TestEquivalenceTimeoutRecovery(t *testing.T) {
 	runEquivPair(t, sys, cfg, specs, nil)
 }
 
+// TestEquivalenceChaosDisabled proves the chaos-era hooks are free when
+// disabled: the indexed engine — with a zero-rate corruption filter
+// installed and driven through the incremental Start/StepTo/Finish API
+// instead of the monolithic Run — still reproduces the reference engine
+// byte for byte, drop hooks included.
+func TestEquivalenceChaosDisabled(t *testing.T) {
+	sys, _, err := core.ParseSystem("fat-fract:levels=2")
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	specs := workload.UniformRandom(rng, sys.Net.NumNodes(), 96, 4, 50)
+	cfg := sim.Config{FIFODepth: 4}
+	fault := sim.LinkFault{Cycle: 20, Link: topology.LinkID(rng.Intn(sys.Net.NumLinks()))}
+
+	newSim := sim.New(sys.Net, sys.Disables, cfg)
+	oldSim := simref.New(sys.Net, sys.Disables, cfg)
+	var newDrops, oldDrops []dropRec
+	newSim.OnDropped(func(spec sim.PacketSpec, now int) {
+		newDrops = append(newDrops, dropRec{spec, now})
+	})
+	oldSim.OnDropped(func(spec sim.PacketSpec, now int) {
+		oldDrops = append(oldDrops, dropRec{spec, now})
+	})
+	if err := newSim.EnableCorruption(0, 123); err != nil {
+		t.Fatalf("EnableCorruption(0): %v", err)
+	}
+	if err := newSim.ScheduleFault(fault); err != nil {
+		t.Fatalf("new ScheduleFault: %v", err)
+	}
+	if err := oldSim.ScheduleFault(fault); err != nil {
+		t.Fatalf("old ScheduleFault: %v", err)
+	}
+	if err := newSim.AddBatch(sys.Tables, specs); err != nil {
+		t.Fatalf("new AddBatch: %v", err)
+	}
+	if err := oldSim.AddBatch(sys.Tables, specs); err != nil {
+		t.Fatalf("old AddBatch: %v", err)
+	}
+
+	want := oldSim.Run()
+	newSim.Start()
+	for newSim.Running() {
+		newSim.StepTo(newSim.Now() + 1)
+	}
+	got := newSim.Finish()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("step-driven Result diverged from reference\n new: %+v\n old: %+v", got, want)
+	}
+	if !reflect.DeepEqual(newDrops, oldDrops) {
+		t.Fatalf("drop hooks diverged\n new: %+v\n old: %+v", newDrops, oldDrops)
+	}
+}
+
+// TestSimrefRejectsTransientFaults pins the reference engine's contract:
+// it does not model link repair, and says so instead of silently treating
+// a flap as a permanent kill.
+func TestSimrefRejectsTransientFaults(t *testing.T) {
+	sys, _, err := core.ParseSystem("ring:size=4")
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	s := simref.New(sys.Net, sys.Disables, sim.Config{})
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 5, Link: 0, RepairCycle: 50}); err == nil {
+		t.Fatal("simref accepted a transient fault it cannot model")
+	}
+}
+
 // TestNewEngineDeterminism re-runs one loaded scenario and demands the
 // Results match exactly — no hidden iteration-order or allocation-reuse
 // dependence survives in the indexed engine.

@@ -1,0 +1,244 @@
+package sim_test
+
+// Regression tests for the runtime-fault machinery the chaos engine drives:
+// transient link flaps (repaired links must re-enter arbitration), atomic
+// router kills (in-flight worms through the dead router must be reaped, not
+// wedged), hash-based flit corruption (deterministic, free at rate zero),
+// and the incremental Start/StepTo/Finish API (including fault events
+// scheduled inside a window the clock free-jumped over).
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// interRouterLink returns the first router-to-router link on the routed
+// path src -> dst.
+func interRouterLink(t *testing.T, net *topology.Network, tb *routing.Tables, src, dst int) topology.LinkID {
+	t.Helper()
+	r, err := tb.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range r.Channels {
+		if net.Device(net.ChannelSrc(ch).Device).Kind == topology.Router &&
+			net.Device(net.ChannelDst(ch).Device).Kind == topology.Router {
+			return net.ChannelLink(ch)
+		}
+	}
+	t.Fatalf("no inter-router channel on route %d -> %d", src, dst)
+	return -1
+}
+
+func TestScheduleFaultRepairValidation(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	s := sim.New(rg.Network, router.AllowAll(rg.Network), sim.Config{MaxCycles: 1000})
+	cases := []sim.LinkFault{
+		{Cycle: 50, Link: 0, RepairCycle: 50},   // repair does not follow fault
+		{Cycle: 50, Link: 0, RepairCycle: 10},   // repair before fault
+		{Cycle: 50, Link: 0, RepairCycle: 1000}, // repair outside the horizon
+	}
+	for i, f := range cases {
+		if err := s.ScheduleFault(f); err == nil {
+			t.Errorf("case %d: fault %+v accepted", i, f)
+		}
+	}
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 50, Link: 0, RepairCycle: 51}); err != nil {
+		t.Fatalf("valid transient fault rejected: %v", err)
+	}
+}
+
+func TestScheduleRouterFaultValidation(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	net := rg.Network
+	s := sim.New(net, router.AllowAll(net), sim.Config{MaxCycles: 1000})
+	var rtr topology.DeviceID = -1
+	for _, d := range net.Devices() {
+		if d.Kind == topology.Router {
+			rtr = d.ID
+			break
+		}
+	}
+	if err := s.ScheduleRouterFault(rtr, -1); err == nil {
+		t.Error("negative cycle accepted")
+	}
+	if err := s.ScheduleRouterFault(rtr, 1000); err == nil {
+		t.Error("cycle at the horizon accepted")
+	}
+	if err := s.ScheduleRouterFault(topology.DeviceID(1<<20), 5); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	if err := s.ScheduleRouterFault(net.NodeByIndex(0), 5); err == nil {
+		t.Error("end node accepted as a router fault")
+	}
+	if err := s.ScheduleRouterFault(rtr, 5); err != nil {
+		t.Fatalf("valid router fault rejected: %v", err)
+	}
+}
+
+// TestLinkFlapRepairReentersArbitration pins the transient-fault cycle: a
+// worm meeting the downed link dies, and after the repair cycle the same
+// link carries traffic again like any other channel.
+func TestLinkFlapRepairReentersArbitration(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	tb := routing.RingClockwise(rg)
+	victim := interRouterLink(t, rg.Network, tb, 0, 2)
+	s := sim.New(rg.Network, router.AllowAll(rg.Network), sim.Config{FIFODepth: 2})
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 2, Link: victim, RepairCycle: 40}); err != nil {
+		t.Fatal(err)
+	}
+	specs := []sim.PacketSpec{
+		{Src: 0, Dst: 2, Flits: 4, InjectCycle: 5},  // meets the dead link, dies
+		{Src: 0, Dst: 2, Flits: 4, InjectCycle: 60}, // crosses the repaired link
+	}
+	if err := s.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Dropped != 1 || res.Delivered != 1 {
+		t.Fatalf("dropped=%d delivered=%d, want 1 and 1", res.Dropped, res.Delivered)
+	}
+	if res.Deadlocked {
+		t.Fatal("flap deadlocked the ring")
+	}
+}
+
+// TestRouterKillCleansInFlightWorms pins the atomic router kill: a long
+// worm mid-flight through the dying router is reaped (surfacing through
+// the drop hook), the buffers it held are released, and unrelated traffic
+// still delivers — the network terminates instead of wedging.
+func TestRouterKillCleansInFlightWorms(t *testing.T) {
+	rg := topology.NewRing(6, 1)
+	tb := routing.RingClockwise(rg)
+	net := rg.Network
+
+	// The worm 0 -> 3 transits intermediate routers; kill one in the middle
+	// of its path while the worm is crossing.
+	r, err := tb.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routers []topology.DeviceID
+	for _, dev := range r.Devices {
+		if net.Device(dev).Kind == topology.Router {
+			routers = append(routers, dev)
+		}
+	}
+	if len(routers) < 3 {
+		t.Fatalf("route too short: routers %v", routers)
+	}
+	victim := routers[len(routers)/2]
+
+	s := sim.New(net, router.AllowAll(net), sim.Config{FIFODepth: 2})
+	drops := 0
+	s.OnDropped(func(spec sim.PacketSpec, now int) { drops++ })
+	if err := s.ScheduleRouterFault(victim, 8); err != nil {
+		t.Fatal(err)
+	}
+	specs := []sim.PacketSpec{
+		{Src: 0, Dst: 3, Flits: 32},                 // long worm through the victim
+		{Src: 3, Dst: 5, Flits: 4, InjectCycle: 10}, // avoids the victim entirely
+	}
+	if err := s.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Deadlocked {
+		t.Fatalf("router kill wedged the network: %+v", res)
+	}
+	if res.Dropped != 1 || drops != 1 {
+		t.Fatalf("dropped=%d hook=%d, want the worm reaped exactly once", res.Dropped, drops)
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("delivered=%d, unrelated traffic did not survive", res.Delivered)
+	}
+}
+
+func TestEnableCorruptionValidation(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	s := sim.New(rg.Network, router.AllowAll(rg.Network), sim.Config{})
+	if err := s.EnableCorruption(-0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := s.EnableCorruption(1.5, 1); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+	if err := s.EnableCorruption(0.5, 1); err != nil {
+		t.Fatalf("valid rate rejected: %v", err)
+	}
+}
+
+// TestCorruptionDeterministicAndFreeAtZero pins the hash-based corruption
+// filter: equal (rate, seed) kill exactly the same flit crossings on every
+// run, and rate zero is bit-identical to never installing the filter.
+func TestCorruptionDeterministicAndFreeAtZero(t *testing.T) {
+	sys, _, err := core.ParseSystem("fat-fract:levels=2")
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	specs := workload.UniformRandom(rand.New(rand.NewSource(17)), sys.Net.NumNodes(), 96, 4, 50)
+
+	run := func(rate float64, seed uint64, enable bool) sim.Result {
+		s := sim.New(sys.Net, sys.Disables, sim.Config{FIFODepth: 4})
+		if enable {
+			if err := s.EnableCorruption(rate, seed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.AddBatch(sys.Tables, specs); err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+
+	a := run(0.05, 7, true)
+	b := run(0.05, 7, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("corruption not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Dropped == 0 {
+		t.Fatal("5% corruption killed nothing")
+	}
+	zero := run(0, 9, true)
+	base := run(0, 0, false)
+	if !reflect.DeepEqual(zero, base) {
+		t.Fatalf("rate-0 corruption disturbed the baseline:\n%+v\n%+v", zero, base)
+	}
+}
+
+// TestStepToLateFaultStillApplies is the regression for the free clock
+// jump: a fault scheduled inside a window the empty network skipped over
+// must still be in force when traffic arrives later.
+func TestStepToLateFaultStillApplies(t *testing.T) {
+	rg := topology.NewRing(4, 1)
+	tb := routing.RingClockwise(rg)
+	victim := interRouterLink(t, rg.Network, tb, 0, 2)
+	s := sim.New(rg.Network, router.AllowAll(rg.Network), sim.Config{FIFODepth: 2})
+	if err := s.ScheduleFault(sim.LinkFault{Cycle: 10, Link: victim}); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.StepTo(100)
+	if s.Now() != 100 {
+		t.Fatalf("empty network did not free-advance: now=%d", s.Now())
+	}
+	route, err := tb.Route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPacket(sim.PacketSpec{Src: 0, Dst: 2, Flits: 4, InjectCycle: 100}, route); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Dropped != 1 || res.Delivered != 0 {
+		t.Fatalf("fault skipped by the clock jump: dropped=%d delivered=%d", res.Dropped, res.Delivered)
+	}
+}

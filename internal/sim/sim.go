@@ -79,10 +79,13 @@ type Config struct {
 // LinkFault schedules a link to fail at a cycle: from then on, any header
 // flit attempting to cross either of its channels is discarded (the worm is
 // killed, as ServerNet's CRC/timeout machinery would), and body flits of
-// worms already committed die with their packet.
+// worms already committed die with their packet. A non-zero RepairCycle
+// makes the failure transient: the link returns to service at that cycle
+// and re-enters arbitration like any other channel. Zero means permanent.
 type LinkFault struct {
-	Cycle int
-	Link  topology.LinkID
+	Cycle       int
+	Link        topology.LinkID
+	RepairCycle int
 }
 
 func (c Config) withDefaults() Config {
@@ -210,214 +213,303 @@ type pendingFlit struct {
 	at  int // last cycle on the wire; lands when now > at
 }
 
+// runState carries one run's accumulators across cycles. Run owns one
+// implicitly; the step API (Start/StepTo/Finish) exposes the same machinery
+// so an external controller — e.g. internal/chaos's dual-fabric recovery
+// engine — can interleave two simulators cycle-by-cycle and intervene
+// between cycles (hot-swap disables, inject retries on the other fabric).
+type runState struct {
+	res            Result
+	lastSeq        map[[2]int]int
+	totalLatency   int
+	latencies      []int
+	deliveredFlits int
+	idle           int
+	now            int
+	done           bool // deadlock declared; the clock is frozen at the witness cycle
+}
+
 // Run executes the simulation until every packet is delivered or dropped,
 // deadlock is declared, or MaxCycles elapse.
 func (s *Simulator) Run() Result {
-	res := Result{}
-	lastSeq := make(map[[2]int]int)
-	totalLatency := 0
-	var latencies []int
-	deliveredFlits := 0
-	idle := 0
-
-	// land processes a wire arrival: ejections run the delivery protocol,
-	// router-bound flits enter their input buffer (flits of dropped worms
-	// simply vanish, as the hardware's error handling discards them).
-	now := 0
-	landed := 0
-	land := func(p pendingFlit) {
-		s.inflight[p.key]--
-		f := p.f
-		f.pkt.flitsWire--
-		if !s.chDstIsNode[p.key/s.cfg.VirtualChannels] {
-			if !f.pkt.dropped {
-				s.bufPush(p.key, f)
-			}
-			return
-		}
-		if f.pkt.dropped {
-			return
-		}
-		f.pkt.delivered++
-		deliveredFlits++
-		if f.idx == f.pkt.spec.Flits-1 {
-			s.outstanding--
-			res.Delivered++
-			lat := now - f.pkt.spec.InjectCycle
-			totalLatency += lat
-			latencies = append(latencies, lat)
-			if lat > res.MaxLatency {
-				res.MaxLatency = lat
-			}
-			key := [2]int{f.pkt.spec.Src, f.pkt.spec.Dst}
-			if f.pkt.seq < lastSeq[key] {
-				res.InOrderViolations++
-			} else {
-				lastSeq[key] = f.pkt.seq + 1
-			}
-			if s.hook != nil {
-				s.hook(f.pkt.spec, now)
-			}
-		}
+	s.Start()
+	for s.Running() {
+		s.stepCycle(s.cfg.MaxCycles)
 	}
+	return s.Finish()
+}
 
-	for ; now < s.cfg.MaxCycles && s.outstanding > 0; now++ {
-		for s.faultCursor < len(s.faults) && s.faults[s.faultCursor].Cycle <= now {
-			if s.faults[s.faultCursor].Cycle == now {
-				s.deadLink[s.faults[s.faultCursor].Link] = true
-			}
-			s.faultCursor++
-		}
-
-		// Wire arrivals land before this cycle's switching decisions. All
-		// wire delays equal LinkLatency, so the pending ring is FIFO by
-		// landing cycle and arrivals pop off the front in issue order.
-		landed = 0
-		for s.pendLen > 0 && s.pend[s.pendHead].at < now {
-			land(s.popPending())
-			landed++
-		}
-
-		moves := s.planMoves(now)
-
-		for _, mv := range moves {
-			var f flit
-			toCh := topology.ChannelID(mv.to / s.cfg.VirtualChannels)
-			toVC := mv.to % s.cfg.VirtualChannels
-			if mv.from == -1 {
-				p := s.queues[mv.src][0]
-				f = flit{pkt: p, idx: p.injected, hop: 0}
-				p.stall = 0
-				if p.injected == 0 {
-					p.headMoved = true
-					if s.cfg.TimeoutCycles > 0 {
-						s.trackActive(p)
-					}
-				}
-				p.injected++
-				if p.injected == p.spec.Flits {
-					s.queues[mv.src] = s.queues[mv.src][1:]
-					res.Injected++
-				}
-			} else {
-				f = s.bufPop(mv.from)
-				f.hop++
-				f.pkt.stall = 0
-				// Ownership transitions at the output VC just crossed —
-				// identified by the destination buffer key, every wired
-				// port driving exactly one outgoing channel.
-				if f.idx == 0 {
-					f.pkt.headMoved = true
-					if s.owner[mv.to] < 0 {
-						s.owner[mv.to] = int32(f.pkt.id)
-						f.pkt.owned = append(f.pkt.owned, int32(mv.to))
-					}
-				}
-				if f.idx == f.pkt.spec.Flits-1 {
-					s.release(f.pkt, int32(mv.to))
-				}
-			}
-			s.busyCh[toCh]++
-			if s.cfg.Trace != nil {
-				fmt.Fprintf(s.cfg.Trace, "%d pkt%d flit%d vc%d %s\n",
-					now, f.pkt.id, f.idx, toVC, s.net.ChannelString(toCh))
-			}
-			f.pkt.flitsWire++
-			s.pushPending(pendingFlit{key: mv.to, f: f, at: now + s.cfg.LinkLatency - 1})
-			s.inflight[mv.to]++
-		}
-
-		if s.cfg.TimeoutCycles > 0 {
-			s.applyTimeouts()
-		}
-		dirtyBefore := len(s.dirty)
-		retired := 0
-		if dirtyBefore > 0 {
-			retired = s.reapDropped(&res, now)
-			s.outstanding -= retired
-		}
-		if len(moves) > 0 || retired > 0 || landed > 0 {
-			idle = 0
-			continue
-		}
-		if s.pendLen > 0 {
-			// Flits propagating on long wires are forward progress even
-			// though no switching decision fired this cycle; without this,
-			// DeadlockThreshold < LinkLatency declared false deadlocks.
-			idle = 0
-		} else {
-			idle++
-			if idle >= s.cfg.DeadlockThreshold && s.totalBuffered > 0 {
-				res.Deadlocked = true
-				res.WaitCycle = s.waitCycle()
-				break
-			}
-		}
-
-		// Nothing moved, landed, or retired, and no dropped worms are
-		// draining: the network is quiescent and can only change at the
-		// next discrete event. Jump there instead of spinning one cycle at
-		// a time, carrying the idle and stall clocks across the gap. A
-		// non-empty dirty list blocks the jump even when nothing retired —
-		// a reap may have cut queues or re-enqueued retries after planMoves
-		// computed nextInject, so the event horizon is stale.
-		if dirtyBefore > 0 {
-			continue
-		}
-		next := s.cfg.MaxCycles
-		if s.pendLen > 0 {
-			if t := s.pend[s.pendHead].at + 1; t < next {
-				next = t
-			}
-		}
-		if s.nextInject < next {
-			next = s.nextInject
-		}
-		if s.faultCursor < len(s.faults) && s.faults[s.faultCursor].Cycle < next {
-			next = s.faults[s.faultCursor].Cycle
-		}
-		if s.cfg.TimeoutCycles > 0 {
-			for _, p := range s.activePkts {
-				if t := now + s.cfg.TimeoutCycles - p.stall; t < next {
-					next = t
-				}
-			}
-		}
-		if s.pendLen == 0 && s.totalBuffered > 0 {
-			if t := now + s.cfg.DeadlockThreshold - idle; t < next {
-				next = t
-			}
-		}
-		if skipped := next - 1 - now; skipped > 0 {
-			if s.pendLen == 0 {
-				idle += skipped
-			}
-			if s.cfg.TimeoutCycles > 0 {
-				for _, p := range s.activePkts {
-					p.stall += skipped
-				}
-			}
-			now = next - 1
-		}
+// Start prepares the step loop. Idempotent; Run and StepTo call it
+// implicitly.
+func (s *Simulator) Start() {
+	if s.rs == nil {
+		s.rs = &runState{lastSeq: make(map[[2]int]int)}
 	}
-	res.Cycles = now
+}
+
+// Running reports whether the run can still make progress: not deadlocked,
+// inside the horizon, with unresolved packets. A finished simulator resumes
+// if AddPacket hands it new work (unless it deadlocked).
+func (s *Simulator) Running() bool {
+	return s.rs != nil && !s.rs.done && s.rs.now < s.cfg.MaxCycles && s.outstanding > 0
+}
+
+// Now returns the current cycle of the step loop (0 before Start).
+func (s *Simulator) Now() int {
+	if s.rs == nil {
+		return 0
+	}
+	return s.rs.now
+}
+
+// StepTo advances the run until the clock reaches limit, every packet is
+// resolved, or deadlock is declared. When the network empties before limit
+// the clock jumps there for free, so two co-simulated fabrics stay aligned
+// while one idles. Cycle `limit` itself is not executed: after StepTo(t) it
+// is still legal to AddPacket with InjectCycle >= t.
+func (s *Simulator) StepTo(limit int) {
+	s.Start()
+	if limit > s.cfg.MaxCycles {
+		limit = s.cfg.MaxCycles
+	}
+	for s.Running() && s.rs.now < limit {
+		s.stepCycle(limit)
+	}
+	if !s.rs.done && s.outstanding == 0 && s.rs.now < limit {
+		// Outstanding == 0 means the fabric is completely empty (tails
+		// delivered and drops fully reaped), so no event can fire until
+		// new packets arrive: the skipped cycles are all no-ops.
+		s.rs.now = limit
+	}
+}
+
+// Finish seals the run and returns its Result. Callable once the step loop
+// stops (and again after a resume); Run calls it for you.
+func (s *Simulator) Finish() Result {
+	rs := s.rs
+	rs.res.Cycles = rs.now
 	cf := make(map[topology.ChannelID]int)
 	for c, n := range s.busyCh {
 		if n > 0 {
 			cf[topology.ChannelID(c)] = n
 		}
 	}
-	res.ChannelFlits = cf
-	if res.Delivered > 0 {
-		res.AvgLatency = float64(totalLatency) / float64(res.Delivered)
+	rs.res.ChannelFlits = cf
+	if rs.res.Delivered > 0 {
+		rs.res.AvgLatency = float64(rs.totalLatency) / float64(rs.res.Delivered)
+		latencies := append([]int(nil), rs.latencies...)
 		sort.Ints(latencies)
-		res.P50Latency = latencies[nearestRank(50, len(latencies))]
-		res.P99Latency = latencies[nearestRank(99, len(latencies))]
+		rs.res.P50Latency = latencies[nearestRank(50, len(latencies))]
+		rs.res.P99Latency = latencies[nearestRank(99, len(latencies))]
 	}
-	if now > 0 {
-		res.ThroughputFPC = float64(deliveredFlits) / float64(now)
+	if rs.now > 0 {
+		rs.res.ThroughputFPC = float64(rs.deliveredFlits) / float64(rs.now)
 	}
-	return res
+	return rs.res
+}
+
+// land processes a wire arrival: ejections run the delivery protocol,
+// router-bound flits enter their input buffer (flits of dropped worms
+// simply vanish, as the hardware's error handling discards them).
+func (s *Simulator) land(p pendingFlit) {
+	rs := s.rs
+	s.inflight[p.key]--
+	f := p.f
+	f.pkt.flitsWire--
+	if !s.chDstIsNode[p.key/s.cfg.VirtualChannels] {
+		if !f.pkt.dropped {
+			s.bufPush(p.key, f)
+		}
+		return
+	}
+	if f.pkt.dropped {
+		return
+	}
+	f.pkt.delivered++
+	rs.deliveredFlits++
+	if f.idx == f.pkt.spec.Flits-1 {
+		s.outstanding--
+		rs.res.Delivered++
+		lat := rs.now - f.pkt.spec.InjectCycle
+		rs.totalLatency += lat
+		rs.latencies = append(rs.latencies, lat)
+		if lat > rs.res.MaxLatency {
+			rs.res.MaxLatency = lat
+		}
+		key := [2]int{f.pkt.spec.Src, f.pkt.spec.Dst}
+		if f.pkt.seq < rs.lastSeq[key] {
+			rs.res.InOrderViolations++
+		} else {
+			rs.lastSeq[key] = f.pkt.seq + 1
+		}
+		if s.hook != nil {
+			s.hook(f.pkt.spec, rs.now)
+		}
+	}
+}
+
+// stepCycle executes one cycle of the run at rs.now and advances the clock,
+// fast-forwarding across quiescent stretches up to (but excluding) limit.
+// On deadlock it freezes the clock at the witness cycle and sets rs.done —
+// exactly the retired monolithic loop's `break` before the final `now++`.
+func (s *Simulator) stepCycle(limit int) {
+	rs := s.rs
+	now := rs.now
+
+	// Events with cycle < now can exist only after a free clock jump over a
+	// provably empty network (StepTo), so folding them late is exact: no
+	// flit crossed anything during the skipped window.
+	for s.evCursor < len(s.events) && s.events[s.evCursor].cycle <= now {
+		ev := s.events[s.evCursor]
+		wasDead := s.deadCount[ev.link] > 0
+		s.deadCount[ev.link] += int32(ev.delta)
+		if (s.deadCount[ev.link] > 0) != wasDead {
+			s.faultRev++
+		}
+		s.evCursor++
+	}
+
+	// Wire arrivals land before this cycle's switching decisions. All
+	// wire delays equal LinkLatency, so the pending ring is FIFO by
+	// landing cycle and arrivals pop off the front in issue order.
+	landed := 0
+	for s.pendLen > 0 && s.pend[s.pendHead].at < now {
+		s.land(s.popPending())
+		landed++
+	}
+
+	moves := s.planMoves(now)
+
+	for _, mv := range moves {
+		var f flit
+		toCh := topology.ChannelID(mv.to / s.cfg.VirtualChannels)
+		toVC := mv.to % s.cfg.VirtualChannels
+		if mv.from == -1 {
+			p := s.queues[mv.src][0]
+			f = flit{pkt: p, idx: p.injected, hop: 0}
+			p.stall = 0
+			if p.injected == 0 {
+				p.headMoved = true
+				if s.cfg.TimeoutCycles > 0 {
+					s.trackActive(p)
+				}
+			}
+			p.injected++
+			if p.injected == p.spec.Flits {
+				s.queues[mv.src] = s.queues[mv.src][1:]
+				rs.res.Injected++
+			}
+		} else {
+			f = s.bufPop(mv.from)
+			f.hop++
+			f.pkt.stall = 0
+			// Ownership transitions at the output VC just crossed —
+			// identified by the destination buffer key, every wired
+			// port driving exactly one outgoing channel.
+			if f.idx == 0 {
+				f.pkt.headMoved = true
+				if s.owner[mv.to] < 0 {
+					s.owner[mv.to] = int32(f.pkt.id)
+					f.pkt.owned = append(f.pkt.owned, int32(mv.to))
+				}
+			}
+			if f.idx == f.pkt.spec.Flits-1 {
+				s.release(f.pkt, int32(mv.to))
+			}
+		}
+		s.busyCh[toCh]++
+		if s.cfg.Trace != nil {
+			fmt.Fprintf(s.cfg.Trace, "%d pkt%d flit%d vc%d %s\n",
+				now, f.pkt.id, f.idx, toVC, s.net.ChannelString(toCh))
+		}
+		if s.corruptThreshold != 0 && !f.pkt.dropped &&
+			s.corrupted(f.pkt.id, f.pkt.retries, f.idx, f.hop) {
+			// The flit is corrupted on the wire it just entered: the
+			// receiver's CRC check kills the worm, like a fault would.
+			f.pkt.dropped = true
+			s.markDropped(f.pkt)
+		}
+		f.pkt.flitsWire++
+		s.pushPending(pendingFlit{key: mv.to, f: f, at: now + s.cfg.LinkLatency - 1})
+		s.inflight[mv.to]++
+	}
+
+	if s.cfg.TimeoutCycles > 0 {
+		s.applyTimeouts()
+	}
+	dirtyBefore := len(s.dirty)
+	retired := 0
+	if dirtyBefore > 0 {
+		retired = s.reapDropped(&rs.res, now)
+		s.outstanding -= retired
+	}
+	if len(moves) > 0 || retired > 0 || landed > 0 {
+		rs.idle = 0
+		rs.now = now + 1
+		return
+	}
+	if s.pendLen > 0 {
+		// Flits propagating on long wires are forward progress even
+		// though no switching decision fired this cycle; without this,
+		// DeadlockThreshold < LinkLatency declared false deadlocks.
+		rs.idle = 0
+	} else {
+		rs.idle++
+		if rs.idle >= s.cfg.DeadlockThreshold && s.totalBuffered > 0 {
+			rs.res.Deadlocked = true
+			rs.res.WaitCycle = s.waitCycle()
+			rs.done = true
+			return
+		}
+	}
+
+	// Nothing moved, landed, or retired, and no dropped worms are
+	// draining: the network is quiescent and can only change at the
+	// next discrete event. Jump there instead of spinning one cycle at
+	// a time, carrying the idle and stall clocks across the gap. A
+	// non-empty dirty list blocks the jump even when nothing retired —
+	// a reap may have cut queues or re-enqueued retries after planMoves
+	// computed nextInject, so the event horizon is stale.
+	if dirtyBefore > 0 {
+		rs.now = now + 1
+		return
+	}
+	next := limit
+	if s.pendLen > 0 {
+		if t := s.pend[s.pendHead].at + 1; t < next {
+			next = t
+		}
+	}
+	if s.nextInject < next {
+		next = s.nextInject
+	}
+	if s.evCursor < len(s.events) && s.events[s.evCursor].cycle < next {
+		next = s.events[s.evCursor].cycle
+	}
+	if s.cfg.TimeoutCycles > 0 {
+		for _, p := range s.activePkts {
+			if t := now + s.cfg.TimeoutCycles - p.stall; t < next {
+				next = t
+			}
+		}
+	}
+	if s.pendLen == 0 && s.totalBuffered > 0 {
+		if t := now + s.cfg.DeadlockThreshold - rs.idle; t < next {
+			next = t
+		}
+	}
+	if skipped := next - 1 - now; skipped > 0 {
+		if s.pendLen == 0 {
+			rs.idle += skipped
+		}
+		if s.cfg.TimeoutCycles > 0 {
+			for _, p := range s.activePkts {
+				p.stall += skipped
+			}
+		}
+		now = next - 1
+	}
+	rs.now = now + 1
 }
 
 // applyTimeouts advances per-packet stall counters for worms whose header

@@ -168,6 +168,10 @@ func (s *Simulator) ScheduleFault(f LinkFault) error {
 		return fmt.Errorf("simref: fault link %d out of range (network has %d links)",
 			f.Link, s.net.NumLinks())
 	}
+	if f.RepairCycle != 0 {
+		return fmt.Errorf("simref: transient faults (RepairCycle=%d) are not modeled by the reference engine",
+			f.RepairCycle)
+	}
 	s.faults = append(s.faults, f)
 	return nil
 }

@@ -30,11 +30,11 @@ type Simulator struct {
 	depth int // cfg.FIFODepth, hoisted
 
 	// Per-channel lookup tables, indexed by ChannelID.
-	chDstIsNode []bool             // channel ends at an end node (ejection)
-	chSrcPort   []int32            // upstream output port number driving the channel
-	chLink      []topology.LinkID  // physical link the channel belongs to
-	chAllowed   [][]bool           // disable row for (dst router, dst port); nil for ejection channels
-	chOutPort   []int32            // global (device, port)-ordered index of the source port
+	chDstIsNode []bool            // channel ends at an end node (ejection)
+	chSrcPort   []int32           // upstream output port number driving the channel
+	chLink      []topology.LinkID // physical link the channel belongs to
+	chAllowed   [][]bool          // disable row for (dst router, dst port); nil for ejection channels
+	chOutPort   []int32           // global (device, port)-ordered index of the source port
 
 	// Flat ring-buffer FIFOs: buffer key k occupies bufFlits[k*depth :
 	// (k+1)*depth], with bufHead/bufLen tracking the ring window. space()
@@ -45,8 +45,12 @@ type Simulator struct {
 
 	inflight []int32 // wire occupancy per destination buffer key
 	owner    []int32 // owning packet id per output-VC buffer key; -1 when free
-	deadLink []bool  // per LinkID
-	busyCh   []int   // flit crossings per channel
+	// deadCount holds, per LinkID, the number of currently-active failures
+	// on the link. A counter rather than a bool so overlapping flap windows
+	// compose: a link is down while any failure covers it, and event order
+	// within one cycle cannot matter.
+	deadCount []int32
+	busyCh    []int // flit crossings per channel
 
 	// Worklist of non-empty input buffers. activePos gives each key's index
 	// in activeBufs (-1 when absent) so emptying a buffer removes it with a
@@ -66,8 +70,26 @@ type Simulator struct {
 
 	outstanding int
 
-	faults      []LinkFault // sorted by Cycle; Run walks faultCursor over it
-	faultCursor int
+	// events is the unified fault timeline: one +1 entry per link failure
+	// and one -1 entry per scheduled repair, sorted by cycle. The step loop
+	// walks evCursor over it; deadCount aggregates the deltas. faultRev
+	// increments whenever a link's up/down state actually flips, so an
+	// external recovery controller can cheaply detect "the dead-set
+	// changed since I last reconfigured".
+	events   []linkEvent
+	evCursor int
+	faultRev int
+
+	// corruptThreshold, when non-zero, enables probabilistic flit
+	// corruption: each flit-channel crossing is killed when a hash of
+	// (corruptSeed, packet id, retry attempt, flit index, hop) falls below
+	// the threshold. Hash-based rather than a stream RNG so the decision
+	// for a given crossing is independent of event interleaving — the
+	// determinism contract extends to chaos runs.
+	corruptThreshold uint64
+	corruptSeed      uint64
+
+	rs *runState // nil until Start; carries accumulators across Step calls
 
 	activePkts []*packet // timeout bookkeeping: injected, not yet resolved
 	dirty      []*packet // dropped packets whose flits are not fully reaped
@@ -104,13 +126,38 @@ func (s *Simulator) OnDelivered(hook func(spec PacketSpec, now int)) { s.hook = 
 // re-issue the transfer with AddPacket, e.g. over a standby fabric.
 func (s *Simulator) OnDropped(hook func(spec PacketSpec, now int)) { s.dropHook = hook }
 
+// linkEvent is one edge of the fault timeline: delta +1 downs the link at
+// cycle, delta -1 repairs one prior failure. deadCount sums the deltas, so
+// overlapping flap windows compose and same-cycle ordering cannot matter.
+type linkEvent struct {
+	cycle int
+	link  topology.LinkID
+	delta int8
+}
+
+// insertEvent keeps the timeline sorted by cycle (insertion after equal
+// cycles, preserving schedule order) so the step loop advances a cursor
+// instead of rescanning the list every cycle.
+func (s *Simulator) insertEvent(e linkEvent) {
+	i := len(s.events)
+	for i > 0 && s.events[i-1].cycle > e.cycle {
+		i--
+	}
+	s.events = append(s.events, linkEvent{})
+	copy(s.events[i+1:], s.events[i:])
+	s.events[i] = e
+}
+
 // ScheduleFault arranges for a link to fail at the given cycle. The cycle
 // must lie inside the simulation horizon [0, MaxCycles) and the link must
 // exist: out-of-range faults used to be accepted silently and then never
 // fire, which made fault-injection experiments impossible to misconfigure
-// loudly. Faults are kept sorted by cycle so Run advances a cursor instead
-// of rescanning the list every cycle; a fault scheduled mid-run for a cycle
-// that already elapsed never fires (as before).
+// loudly. A non-zero RepairCycle (strictly after Cycle, inside the horizon)
+// makes the fault transient: the link flaps down at Cycle and carries
+// traffic again from RepairCycle on. Faults are kept sorted by cycle so the
+// run advances a cursor instead of rescanning the list every cycle; a fault
+// scheduled mid-run for a cycle that already elapsed never fires (as
+// before).
 func (s *Simulator) ScheduleFault(f LinkFault) error {
 	if f.Cycle < 0 || f.Cycle >= s.cfg.MaxCycles {
 		return fmt.Errorf("sim: fault cycle %d outside the simulation horizon [0, %d)",
@@ -120,14 +167,122 @@ func (s *Simulator) ScheduleFault(f LinkFault) error {
 		return fmt.Errorf("sim: fault link %d out of range (network has %d links)",
 			f.Link, s.net.NumLinks())
 	}
-	i := len(s.faults)
-	for i > 0 && s.faults[i-1].Cycle > f.Cycle {
-		i--
+	if f.RepairCycle != 0 {
+		if f.RepairCycle <= f.Cycle {
+			return fmt.Errorf("sim: repair cycle %d does not follow fault cycle %d",
+				f.RepairCycle, f.Cycle)
+		}
+		if f.RepairCycle >= s.cfg.MaxCycles {
+			return fmt.Errorf("sim: repair cycle %d outside the simulation horizon [0, %d)",
+				f.RepairCycle, s.cfg.MaxCycles)
+		}
 	}
-	s.faults = append(s.faults, LinkFault{})
-	copy(s.faults[i+1:], s.faults[i:])
-	s.faults[i] = f
+	s.insertEvent(linkEvent{cycle: f.Cycle, link: f.Link, delta: +1})
+	if f.RepairCycle != 0 {
+		s.insertEvent(linkEvent{cycle: f.RepairCycle, link: f.Link, delta: -1})
+	}
 	return nil
+}
+
+// ScheduleRouterFault downs every link attached to the router at the given
+// cycle, atomically and permanently — the whole-router failure mode §1's
+// dual-fabric architecture exists to survive. Validation mirrors
+// ScheduleFault: the cycle must lie inside the horizon and the device must
+// be a router (killing an end node would just strand its own traffic).
+func (s *Simulator) ScheduleRouterFault(dev topology.DeviceID, cycle int) error {
+	if cycle < 0 || cycle >= s.cfg.MaxCycles {
+		return fmt.Errorf("sim: fault cycle %d outside the simulation horizon [0, %d)",
+			cycle, s.cfg.MaxCycles)
+	}
+	if int(dev) < 0 || int(dev) >= s.net.NumDevices() {
+		return fmt.Errorf("sim: fault device %d out of range (network has %d devices)",
+			dev, s.net.NumDevices())
+	}
+	d := s.net.Device(dev)
+	if d.Kind != topology.Router {
+		return fmt.Errorf("sim: fault device %d (%s) is not a router", dev, d.Name)
+	}
+	for port := 0; port < d.Ports; port++ {
+		if l, ok := s.net.LinkAt(dev, port); ok {
+			s.insertEvent(linkEvent{cycle: cycle, link: l, delta: +1})
+		}
+	}
+	return nil
+}
+
+// EnableCorruption turns on probabilistic flit corruption: every
+// flit-channel crossing is independently killed with the given probability,
+// decided by a hash keyed on the seed and the crossing's identity (packet,
+// retry attempt, flit, hop). Corrupted worms die exactly like fault-killed
+// ones — body flits are reaped, the drop surfaces through OnDropped — so a
+// retry layer above the simulator sees a CRC-style transmission error.
+func (s *Simulator) EnableCorruption(rate float64, seed uint64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("sim: corruption rate %v outside [0, 1]", rate)
+	}
+	switch {
+	case rate == 0:
+		s.corruptThreshold = 0
+	case rate == 1:
+		s.corruptThreshold = ^uint64(0)
+	default:
+		s.corruptThreshold = uint64(rate * float64(1<<32) * float64(1<<32))
+	}
+	s.corruptSeed = seed
+	return nil
+}
+
+// mix64 is the SplitMix64 finalizer — the same bijective mixer
+// internal/runner seeds workers with.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// corrupted decides whether one flit-channel crossing is killed. Pure in
+// (seed, id, retries, idx, hop): re-running the same schedule reproduces
+// the same corruption pattern regardless of what else the run interleaves.
+func (s *Simulator) corrupted(id, retries, idx, hop int) bool {
+	h := mix64(s.corruptSeed + 0x9E3779B97F4A7C15*uint64(id+1))
+	h = mix64(h ^ uint64(retries)<<42 ^ uint64(idx)<<21 ^ uint64(hop))
+	return h < s.corruptThreshold
+}
+
+// SetDisables hot-swaps the path-disable matrix, e.g. after an external
+// recovery controller recomputes routing for a degraded topology. Safe
+// between cycles: the per-channel rows are re-aliased in place, and from
+// the next planMoves every header decision consults the new matrix (worms
+// already holding outputs keep them — §2.4's argument covers old-route
+// traffic as long as the new enabled-turn set is acyclic).
+func (s *Simulator) SetDisables(dis *router.Disables) {
+	s.dis = dis
+	for c := 0; c < s.net.NumChannels(); c++ {
+		if !s.chDstIsNode[c] {
+			dst := s.net.ChannelDst(topology.ChannelID(c))
+			s.chAllowed[c] = dis.Row(dst.Device, dst.Port)
+		}
+	}
+}
+
+// FaultRevision counts up/down state flips applied so far: it changes
+// exactly when the set of dead links changes. A recovery controller
+// snapshots it to detect new damage (or repairs) without diffing link
+// states.
+func (s *Simulator) FaultRevision() int { return s.faultRev }
+
+// DeadLinks returns the currently-failed links in ascending order.
+func (s *Simulator) DeadLinks() []topology.LinkID {
+	var out []topology.LinkID
+	for l, n := range s.deadCount {
+		if n > 0 {
+			out = append(out, topology.LinkID(l))
+		}
+	}
+	return out
 }
 
 // New creates a simulator over a network with the given disable matrix
@@ -153,7 +308,7 @@ func New(net *topology.Network, dis *router.Disables, cfg Config) *Simulator {
 		bufLen:      make([]int32, numKeys),
 		inflight:    make([]int32, numKeys),
 		owner:       make([]int32, numKeys),
-		deadLink:    make([]bool, net.NumLinks()),
+		deadCount:   make([]int32, net.NumLinks()),
 		busyCh:      make([]int, numCh),
 		activePos:   make([]int32, numKeys),
 	}
@@ -348,4 +503,3 @@ func (s *Simulator) markDropped(p *packet) {
 		s.dirty = append(s.dirty, p)
 	}
 }
-
