@@ -29,12 +29,13 @@ func main() {
 	flits := flag.Int("flits", 4, "flits per transfer")
 	seed := flag.Int64("seed", 2, "campaign seed; equal seeds reproduce the campaign exactly")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS); results are identical for any value")
+	shards := flag.Int("shards", 0, "engine shard count per trial (<= 1 = sequential); results are identical for any value")
 	jsonPath := flag.String("json", "", "write the campaign JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
 	stats := runner.NewStats()
 	cr, err := experiments.ChaosRecovery(*trials, *packets, *flits, *seed,
-		runner.Workers(*workers), runner.WithStats(stats))
+		runner.Workers(*workers), runner.Shards(*shards), runner.WithStats(stats))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 		os.Exit(1)

@@ -50,6 +50,7 @@ func main() {
 	failCycle := flag.Int("fail-cycle", 0, "cycle at which -fail-link dies")
 	runs := flag.Int("runs", 1, "independent runs; run i derives its seed from (-seed, i)")
 	workers := flag.Int("workers", 0, "worker-pool size for -runs fan-out (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "engine shard count per run (<= 1 = sequential); results are identical for any value")
 	flag.Parse()
 
 	sys, name, err := core.ParseSystem(*spec)
@@ -80,7 +81,7 @@ func main() {
 		}
 	}
 
-	cfg := sim.Config{FIFODepth: *fifo, VirtualChannels: *vcs, LinkLatency: *linkLat, TimeoutCycles: *timeout, DeadlockThreshold: 2000}
+	cfg := sim.Config{FIFODepth: *fifo, VirtualChannels: *vcs, LinkLatency: *linkLat, TimeoutCycles: *timeout, DeadlockThreshold: 2000, Shards: *shards}
 	simulate := func(specs []sim.PacketSpec) (sim.Result, error) {
 		dis := sys.Disables
 		if *unrestricted {

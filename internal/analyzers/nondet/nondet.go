@@ -34,6 +34,16 @@ var allowWallClock = map[string]map[string]bool{
 	"repro/internal/experiments": {"campaign.go": true},
 }
 
+// allowGoroutines maps package path to file base names where go statements
+// are sanctioned: the audited barrier pools whose scheduling provably never
+// reaches a result (routing's merge-in-order parallel table builder and the
+// sim engine's sharded planner). Anywhere else in the contract packages a
+// goroutine is a latent scheduling dependence and is flagged.
+var allowGoroutines = map[string]map[string]bool{
+	"repro/internal/routing": {"parallel.go": true},
+	"repro/internal/sim":     {"shard.go": true},
+}
+
 // randConstructors are the math/rand package-level functions that build
 // explicit generators rather than draw from the global one.
 var randConstructors = map[string]bool{
@@ -60,9 +70,10 @@ var wallClockFuncs = map[string]bool{
 
 var Analyzer = &analysis.Analyzer{
 	Name: "nondet",
-	Doc: "flag global math/rand use and wall-clock reads in determinism-contract packages; " +
-		"randomness must flow through an explicit runner-seeded *rand.Rand and wall time only " +
-		"through the campaign accounting sites",
+	Doc: "flag global math/rand use, wall-clock reads, and unsanctioned goroutines in " +
+		"determinism-contract packages; randomness must flow through an explicit runner-seeded " +
+		"*rand.Rand, wall time only through the campaign accounting sites, and parallelism only " +
+		"through the audited barrier pools",
 	Run: run,
 }
 
@@ -74,7 +85,15 @@ func run(pass *analysis.Pass) (any, error) {
 	for _, file := range astq.LibFiles(pass.Fset, pass.Files) {
 		base := baseOf(pass, file)
 		wallClockOK := allowWallClock[pkgPath][base]
+		goroutineOK := allowGoroutines[pkgPath][base]
 		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if !goroutineOK {
+					pass.Reportf(g.Pos(),
+						"goroutine launched outside the audited barrier pools; fan out across points via runner.Map, or inside a run via the sharded planner (internal/sim/shard.go), so scheduling can never reach a result")
+				}
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true

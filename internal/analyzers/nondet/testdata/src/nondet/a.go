@@ -35,3 +35,10 @@ func explicitOK(seed int64) *mrand.Rand {
 func suppressed() int {
 	return mrand.Intn(3) //simlint:ignore nondet fixture exercises the directive
 }
+
+func rogueGoroutine(ch chan int) {
+	// A bare goroutine in a contract package is a scheduling dependence
+	// waiting to leak into a result; only the audited barrier pools may
+	// fan out.
+	go func() { ch <- 1 }() // want `goroutine launched outside the audited barrier pools`
+}

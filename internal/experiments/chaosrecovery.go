@@ -33,7 +33,7 @@ func ChaosRecovery(trials, packets, flits int, seed int64, opts ...runner.Option
 		},
 		Engine: chaos.Config{
 			Build:       dualFractahedron,
-			Sim:         sim.Config{FIFODepth: 4, TimeoutCycles: 200, MaxRetries: 1},
+			Sim:         sim.Config{FIFODepth: 4, TimeoutCycles: 200, MaxRetries: 1, Shards: cfg.Shards},
 			Reconfigure: true,
 		},
 	}

@@ -119,24 +119,7 @@ func (s *Simulator) planMoves(now int) []move {
 			}
 		}
 	}
-	slices.Sort(s.arbTouched)
-	for _, port := range s.arbTouched {
-		a := &s.arb[port]
-		var g arbSlot
-		if a.contMin.from >= 0 {
-			g = a.contMin
-			if a.contNext.from >= 0 {
-				g = a.contNext
-			}
-		} else {
-			g = a.hdrMin
-			if a.hdrNext.from >= 0 {
-				g = a.hdrNext
-			}
-		}
-		s.arbLast[port] = g.from
-		moves = append(moves, move{from: int(g.from), to: int(g.to)})
-	}
+	moves = s.emitGrants(moves)
 
 	// Injection: one flit per source node with a pending packet. Node
 	// addresses ascend, so no sort is needed to reproduce the old sorted
@@ -167,5 +150,32 @@ func (s *Simulator) planMoves(now int) []move {
 		}
 	}
 	s.moves = moves
+	return moves
+}
+
+// emitGrants resolves the filled arbitration slots into at most one granted
+// move per touched output port, visiting ports in ascending global index so
+// grant emission order is canonical, and advances each port's round-robin
+// pointer. Shared by the sequential and sharded planners: the slots are
+// filled identically, so the grants are too.
+func (s *Simulator) emitGrants(moves []move) []move {
+	slices.Sort(s.arbTouched)
+	for _, port := range s.arbTouched {
+		a := &s.arb[port]
+		var g arbSlot
+		if a.contMin.from >= 0 {
+			g = a.contMin
+			if a.contNext.from >= 0 {
+				g = a.contNext
+			}
+		} else {
+			g = a.hdrMin
+			if a.hdrNext.from >= 0 {
+				g = a.hdrNext
+			}
+		}
+		s.arbLast[port] = g.from
+		moves = append(moves, move{from: int(g.from), to: int(g.to)})
+	}
 	return moves
 }

@@ -4,7 +4,9 @@ package sim_test
 // reproduce the retired map-based implementation (preserved as
 // internal/sim/simref) byte for byte — every Result field, including the
 // deadlock witness and per-channel flit counts — across every builtin
-// topology spec and a matrix of load scenarios. The timeout scenarios stay
+// topology spec and a matrix of load scenarios, and it must do so at every
+// shard count (TestMain in shard_test.go forces the sharded planner to
+// engage even on these small scenarios). The timeout scenarios stay
 // on LinkLatency=1 / VirtualChannels=1 because the timeout semantics were
 // deliberately fixed for the other corners; bugfix_test.go pins those
 // divergences explicitly.
@@ -46,43 +48,63 @@ func equivScenarios() []equivScenario {
 	}
 }
 
-// runEquivPair drives identical inputs through both implementations and
-// fails on any Result or drop-hook divergence.
+// equivShardCounts is the shard sweep every equivalence pairing runs: the
+// sequential engine plus two sharded widths, one even splitting and one that
+// leaves ragged shard slices. simref ignores Shards, so each width must
+// reproduce the identical reference Result.
+var equivShardCounts = []int{1, 2, 4}
+
+// runEquivPair drives identical inputs through both implementations — the
+// indexed engine once per shard count in equivShardCounts — and fails on any
+// Result or drop-hook divergence.
 func runEquivPair(t *testing.T, sys *core.System, cfg sim.Config,
 	specs []sim.PacketSpec, faults []sim.LinkFault) {
 	t.Helper()
 
-	newSim := sim.New(sys.Net, sys.Disables, cfg)
 	oldSim := simref.New(sys.Net, sys.Disables, cfg)
-
-	var newDrops, oldDrops []dropRec
-	newSim.OnDropped(func(spec sim.PacketSpec, now int) {
-		newDrops = append(newDrops, dropRec{spec, now})
-	})
+	var oldDrops []dropRec
 	oldSim.OnDropped(func(spec sim.PacketSpec, now int) {
 		oldDrops = append(oldDrops, dropRec{spec, now})
 	})
 	for _, f := range faults {
-		if err := newSim.ScheduleFault(f); err != nil {
-			t.Fatalf("new ScheduleFault(%+v): %v", f, err)
-		}
 		if err := oldSim.ScheduleFault(f); err != nil {
 			t.Fatalf("old ScheduleFault(%+v): %v", f, err)
 		}
 	}
-	if err := newSim.AddBatch(sys.Tables, specs); err != nil {
-		t.Fatalf("new AddBatch: %v", err)
-	}
 	if err := oldSim.AddBatch(sys.Tables, specs); err != nil {
 		t.Fatalf("old AddBatch: %v", err)
 	}
+	want := oldSim.Run()
 
-	got, want := newSim.Run(), oldSim.Run()
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("Result diverged\n new: %+v\n old: %+v", got, want)
-	}
-	if !reflect.DeepEqual(newDrops, oldDrops) {
-		t.Fatalf("drop hooks diverged\n new: %+v\n old: %+v", newDrops, oldDrops)
+	for _, shards := range equivShardCounts {
+		shardCfg := cfg
+		shardCfg.Shards = shards
+		newSim := sim.New(sys.Net, sys.Disables, shardCfg)
+		var newDrops []dropRec
+		newSim.OnDropped(func(spec sim.PacketSpec, now int) {
+			newDrops = append(newDrops, dropRec{spec, now})
+		})
+		for _, f := range faults {
+			if err := newSim.ScheduleFault(f); err != nil {
+				t.Fatalf("new ScheduleFault(%+v): %v", f, err)
+			}
+		}
+		if err := newSim.AddBatch(sys.Tables, specs); err != nil {
+			t.Fatalf("new AddBatch: %v", err)
+		}
+
+		got := newSim.Run()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Result diverged at Shards=%d\n new: %+v\n old: %+v",
+				shards, got, want)
+		}
+		if !reflect.DeepEqual(newDrops, oldDrops) {
+			t.Fatalf("drop hooks diverged at Shards=%d\n new: %+v\n old: %+v",
+				shards, newDrops, oldDrops)
+		}
+		if shards > 1 && newSim.ShardedCycles() == 0 {
+			t.Fatalf("Shards=%d run never engaged the sharded planner", shards)
+		}
 	}
 }
 
@@ -179,8 +201,8 @@ func TestEquivalenceTimeoutRecovery(t *testing.T) {
 // TestEquivalenceChaosDisabled proves the chaos-era hooks are free when
 // disabled: the indexed engine — with a zero-rate corruption filter
 // installed and driven through the incremental Start/StepTo/Finish API
-// instead of the monolithic Run — still reproduces the reference engine
-// byte for byte, drop hooks included.
+// instead of the monolithic Run, sequentially and sharded — still
+// reproduces the reference engine byte for byte, drop hooks included.
 func TestEquivalenceChaosDisabled(t *testing.T) {
 	sys, _, err := core.ParseSystem("fat-fract:levels=2")
 	if err != nil {
@@ -188,45 +210,50 @@ func TestEquivalenceChaosDisabled(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(99))
 	specs := workload.UniformRandom(rng, sys.Net.NumNodes(), 96, 4, 50)
-	cfg := sim.Config{FIFODepth: 4}
 	fault := sim.LinkFault{Cycle: 20, Link: topology.LinkID(rng.Intn(sys.Net.NumLinks()))}
 
-	newSim := sim.New(sys.Net, sys.Disables, cfg)
-	oldSim := simref.New(sys.Net, sys.Disables, cfg)
-	var newDrops, oldDrops []dropRec
-	newSim.OnDropped(func(spec sim.PacketSpec, now int) {
-		newDrops = append(newDrops, dropRec{spec, now})
-	})
+	oldSim := simref.New(sys.Net, sys.Disables, sim.Config{FIFODepth: 4})
+	var oldDrops []dropRec
 	oldSim.OnDropped(func(spec sim.PacketSpec, now int) {
 		oldDrops = append(oldDrops, dropRec{spec, now})
 	})
-	if err := newSim.EnableCorruption(0, 123); err != nil {
-		t.Fatalf("EnableCorruption(0): %v", err)
-	}
-	if err := newSim.ScheduleFault(fault); err != nil {
-		t.Fatalf("new ScheduleFault: %v", err)
-	}
 	if err := oldSim.ScheduleFault(fault); err != nil {
 		t.Fatalf("old ScheduleFault: %v", err)
-	}
-	if err := newSim.AddBatch(sys.Tables, specs); err != nil {
-		t.Fatalf("new AddBatch: %v", err)
 	}
 	if err := oldSim.AddBatch(sys.Tables, specs); err != nil {
 		t.Fatalf("old AddBatch: %v", err)
 	}
-
 	want := oldSim.Run()
-	newSim.Start()
-	for newSim.Running() {
-		newSim.StepTo(newSim.Now() + 1)
-	}
-	got := newSim.Finish()
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("step-driven Result diverged from reference\n new: %+v\n old: %+v", got, want)
-	}
-	if !reflect.DeepEqual(newDrops, oldDrops) {
-		t.Fatalf("drop hooks diverged\n new: %+v\n old: %+v", newDrops, oldDrops)
+
+	for _, shards := range equivShardCounts {
+		newSim := sim.New(sys.Net, sys.Disables, sim.Config{FIFODepth: 4, Shards: shards})
+		var newDrops []dropRec
+		newSim.OnDropped(func(spec sim.PacketSpec, now int) {
+			newDrops = append(newDrops, dropRec{spec, now})
+		})
+		if err := newSim.EnableCorruption(0, 123); err != nil {
+			t.Fatalf("EnableCorruption(0): %v", err)
+		}
+		if err := newSim.ScheduleFault(fault); err != nil {
+			t.Fatalf("new ScheduleFault: %v", err)
+		}
+		if err := newSim.AddBatch(sys.Tables, specs); err != nil {
+			t.Fatalf("new AddBatch: %v", err)
+		}
+
+		newSim.Start()
+		for newSim.Running() {
+			newSim.StepTo(newSim.Now() + 1)
+		}
+		got := newSim.Finish()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step-driven Result diverged from reference at Shards=%d\n new: %+v\n old: %+v",
+				shards, got, want)
+		}
+		if !reflect.DeepEqual(newDrops, oldDrops) {
+			t.Fatalf("drop hooks diverged at Shards=%d\n new: %+v\n old: %+v",
+				shards, newDrops, oldDrops)
+		}
 	}
 }
 

@@ -1,0 +1,346 @@
+package sim
+
+// Intra-run sharded switching plan. All prior parallelism in this repo runs
+// ACROSS simulation points (runner.Map); this file parallelizes the inside
+// of a single run without letting goroutine scheduling anywhere near the
+// output. The per-cycle plan splits into four phases:
+//
+//  1. classify (parallel): each shard walks a contiguous slice of the
+//     sorted active-buffer worklist — a disjoint ascending buffer-key
+//     range — and classifies every buffer head against start-of-cycle
+//     state only (routes, disables, dead links, buffer space, output-VC
+//     ownership), appending compact records to private scratch. Nothing
+//     shared is written.
+//  2. commit (sequential): the shard record streams are concatenated in
+//     shard order, which IS ascending buffer-key order, and replayed
+//     exactly as the sequential walk would have run them: drops commit
+//     (and suppress the dropped worm's later requests, however the
+//     buffers were sharded), arbitration slots fill, grants emit in
+//     canonical port order.
+//  3. inject-scan (parallel): shards scan disjoint source-node ranges for
+//     injectable queue fronts, reading the drop flags phase 2 finalized.
+//  4. inject-commit (sequential): injection drops and moves merge in node
+//     order; the next-injection event horizon is the min over shards.
+//
+// The only cross-buffer data flow inside the sequential planner is the
+// monotonic packet drop flag, so phases 1/3 are pure reads and phases 2/4
+// reproduce the sequential visit order bit for bit. The barrier in
+// shardPool.run means no worker ever touches simulator state outside its
+// phase; Result, hook order, and every internal counter are byte-identical
+// to the sequential engine for any shard count and any GOMAXPROCS.
+
+import (
+	"slices"
+	"sync"
+)
+
+// shardWorkMin and shardNodeMin gate the parallel planner per cycle: below
+// them the barrier costs more than the walk and the cycle uses the
+// sequential planner instead. A variable, not a constant, so the test
+// binary can force the sharded path onto arbitrarily small scenarios (see
+// TestMain in shard_test.go); the choice is invisible in output either way.
+var (
+	shardWorkMin = 64
+	shardNodeMin = 2048
+)
+
+// Record kinds for the classify phases.
+const (
+	recDrop   int8 = iota // worm hit a path disable or a dead link: kill it
+	recHdr                // header flit requesting a free output VC
+	recCont               // continuing worm that owns its output VC
+	recInject             // source node may inject its queue front's next flit
+)
+
+// shardRec is one classified candidate, in the visit order of the
+// sequential planner. For buffer records from/to/port are the buffer key,
+// destination buffer key, and global output-port index; for injection
+// records from is the source node and to the injection buffer key.
+type shardRec struct {
+	pkt  *packet
+	from int32
+	to   int32
+	port int32
+	kind int8
+}
+
+// shardPool runs a fixed set of worker goroutines with a full barrier per
+// dispatch. Shard 0 always executes on the caller's goroutine; workers
+// 1..n-1 each own a job channel, so a dispatch is n-1 sends, local work,
+// and n-1 receives — no shared queue, no scheduling freedom that could
+// matter (every shard's work set is fixed before the dispatch).
+type shardPool struct {
+	n    int
+	jobs []chan func()
+	done []chan any
+	wg   sync.WaitGroup
+}
+
+func newShardPool(n int) *shardPool {
+	p := &shardPool{n: n}
+	for i := 1; i < n; i++ {
+		job := make(chan func())
+		done := make(chan any, 1)
+		p.jobs = append(p.jobs, job)
+		p.done = append(p.done, done)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range job {
+				done <- guard(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// guard runs fn and converts a panic into a value, so a worker panic can
+// cross back to the dispatching goroutine instead of killing the process
+// from a goroutine nobody can recover on.
+func guard(fn func()) (pv any) {
+	defer func() { pv = recover() }()
+	fn()
+	return nil
+}
+
+// run executes fn(shard) for shards 0..n-1 and returns only after every
+// shard finished — the deterministic barrier. A shard panic is re-raised
+// here, on the caller's goroutine, after the barrier: the pool is quiescent
+// when the panic propagates, so a recovering caller can still Close the
+// simulator and leak nothing. When several shards panic in one dispatch the
+// lowest shard index wins, keeping even the failure deterministic.
+func (p *shardPool) run(fn func(shard int)) {
+	for i := 1; i < p.n; i++ {
+		shard := i
+		p.jobs[i-1] <- func() { fn(shard) }
+	}
+	pv := guard(func() { fn(0) })
+	for i := 1; i < p.n; i++ {
+		v := <-p.done[i-1]
+		if pv == nil {
+			pv = v
+		}
+	}
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// close shuts the workers down and waits until they have all exited, so a
+// caller observing close's return observes zero pool goroutines.
+// Idempotent.
+func (p *shardPool) close() {
+	for _, job := range p.jobs {
+		close(job)
+	}
+	p.wg.Wait()
+	p.jobs = nil
+}
+
+// Close releases the shard worker pool without sealing the run. Finish
+// calls it; callers abandoning a run mid-flight (an accounting error, a
+// recovered panic) should call it directly so no worker goroutine outlives
+// the simulator. Idempotent, and a later Start/StepTo re-creates the pool
+// on demand.
+func (s *Simulator) Close() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
+}
+
+// ensurePool lazily builds the worker pool and per-shard scratch.
+func (s *Simulator) ensurePool() {
+	if s.pool == nil {
+		s.pool = newShardPool(s.cfg.Shards)
+		if s.shardRecs == nil {
+			s.shardRecs = make([][]shardRec, s.cfg.Shards)
+			s.shardNext = make([]int, s.cfg.Shards)
+		}
+	}
+}
+
+// ShardedCycles reports how many cycles the sharded planner executed so
+// far — a diagnostic for tests that must prove the parallel path actually
+// engaged, deliberately NOT part of Result (Results are identical for any
+// shard count, and this is not).
+func (s *Simulator) ShardedCycles() int { return s.shardedCycles }
+
+// plan picks this cycle's planner: the sharded one when sharding is
+// configured and there is enough live work to amortize two barriers, the
+// sequential one otherwise. Both produce identical moves and identical
+// side effects, so the choice can never surface in a Result.
+func (s *Simulator) plan(now int) []move {
+	if s.cfg.Shards > 1 &&
+		(len(s.activeBufs) >= shardWorkMin || len(s.queues) >= shardNodeMin) {
+		return s.planMovesSharded(now)
+	}
+	return s.planMoves(now)
+}
+
+// planMovesSharded is planMoves run over the shard pool: same inputs, same
+// outputs, same side effects, computed by the four phases described in the
+// file comment.
+func (s *Simulator) planMovesSharded(now int) []move {
+	s.ensurePool()
+	s.shardedCycles++
+	moves := s.moves[:0]
+	v := s.cfg.VirtualChannels
+	n := s.pool.n
+
+	slices.Sort(s.activeBufs)
+	for i, k := range s.activeBufs {
+		s.activePos[k] = int32(i)
+	}
+	s.arbStamp++
+	s.arbTouched = s.arbTouched[:0]
+
+	// Phase 1 — classify buffer heads in parallel over disjoint slices of
+	// the sorted worklist. Reads start-of-cycle state only; writes go to
+	// the shard's private record stream.
+	total := len(s.activeBufs)
+	s.pool.run(func(shard int) {
+		recs := s.shardRecs[shard][:0]
+		for _, k32 := range s.activeBufs[total*shard/n : total*(shard+1)/n] {
+			key := int(k32)
+			f := &s.bufFlits[key*s.depth+int(s.bufHead[key])]
+			p := f.pkt
+			if p.dropped {
+				continue // reaped separately
+			}
+			next := p.route[f.hop+1]
+			nextVC := 0
+			if p.vcs != nil {
+				nextVC = p.vcs[f.hop+1]
+			}
+			if f.idx == 0 && !s.chAllowed[key/v][s.chSrcPort[next]] {
+				recs = append(recs, shardRec{pkt: p, kind: recDrop})
+				continue
+			}
+			if s.deadCount[s.chLink[next]] > 0 {
+				recs = append(recs, shardRec{pkt: p, kind: recDrop})
+				continue
+			}
+			nextKey := int(next)*v + nextVC
+			if !s.space(nextKey) {
+				continue
+			}
+			kind := recHdr
+			switch own := s.owner[nextKey]; {
+			case own == int32(p.id):
+				kind = recCont
+			case own < 0 && f.idx == 0:
+			default:
+				continue
+			}
+			recs = append(recs, shardRec{
+				pkt: p, from: k32, to: int32(nextKey),
+				port: s.chOutPort[next], kind: kind,
+			})
+		}
+		s.shardRecs[shard] = recs
+	})
+
+	// Phase 2 — commit in canonical order. Concatenating the shard streams
+	// in shard order restores ascending buffer-key order, so this loop is
+	// the sequential planner's walk replayed over the precomputed
+	// classifications: drops land first time they are seen and suppress the
+	// worm's later requests exactly as the in-line check did.
+	for shard := 0; shard < n; shard++ {
+		for i := range s.shardRecs[shard] {
+			r := &s.shardRecs[shard][i]
+			p := r.pkt
+			if r.kind == recDrop {
+				if !p.dropped {
+					p.dropped = true
+					s.markDropped(p)
+				}
+				continue
+			}
+			if p.dropped {
+				continue // a lower-keyed buffer dropped this worm this cycle
+			}
+			a := &s.arb[r.port]
+			if a.stamp != s.arbStamp {
+				a.stamp = s.arbStamp
+				a.contMin.from, a.contNext.from = -1, -1
+				a.hdrMin.from, a.hdrNext.from = -1, -1
+				s.arbTouched = append(s.arbTouched, r.port)
+			}
+			slot := arbSlot{from: r.from, to: r.to}
+			if r.kind == recCont {
+				if a.contMin.from < 0 {
+					a.contMin = slot
+				}
+				if a.contNext.from < 0 && r.from > s.arbLast[r.port] {
+					a.contNext = slot
+				}
+			} else {
+				if a.hdrMin.from < 0 {
+					a.hdrMin = slot
+				}
+				if a.hdrNext.from < 0 && r.from > s.arbLast[r.port] {
+					a.hdrNext = slot
+				}
+			}
+		}
+	}
+	moves = s.emitGrants(moves)
+
+	// Phase 3 — injection scan over disjoint source-node ranges. Runs after
+	// phase 2 so the drop flags it reads are final, mirroring the
+	// sequential planner's buffer-loop-then-injection order. The scratch
+	// streams are reused: phase 2 fully consumed them.
+	nn := len(s.queues)
+	s.pool.run(func(shard int) {
+		recs := s.shardRecs[shard][:0]
+		nextInject := s.cfg.MaxCycles
+		for src := nn * shard / n; src < nn*(shard+1)/n; src++ {
+			q := s.queues[src]
+			if len(q) == 0 {
+				continue
+			}
+			p := q[0]
+			if p.spec.InjectCycle > now {
+				if p.spec.InjectCycle < nextInject {
+					nextInject = p.spec.InjectCycle
+				}
+				continue
+			}
+			if p.dropped {
+				continue
+			}
+			if s.deadCount[s.chLink[p.route[0]]] > 0 {
+				recs = append(recs, shardRec{pkt: p, kind: recDrop})
+				continue
+			}
+			injKey := int(p.route[0])*v + p.vcAt(0)
+			if s.space(injKey) {
+				recs = append(recs, shardRec{from: int32(src), to: int32(injKey), kind: recInject})
+			}
+		}
+		s.shardRecs[shard] = recs
+		s.shardNext[shard] = nextInject
+	})
+
+	// Phase 4 — merge injections in node order. Every queue front is a
+	// distinct packet, so the drops here cannot interact; the only shared
+	// effects (dirty-list appends, move order, the injection horizon) are
+	// serialized exactly as the sequential source loop emitted them.
+	s.nextInject = s.cfg.MaxCycles
+	for shard := 0; shard < n; shard++ {
+		if s.shardNext[shard] < s.nextInject {
+			s.nextInject = s.shardNext[shard]
+		}
+		for _, r := range s.shardRecs[shard] {
+			if r.kind == recDrop {
+				r.pkt.dropped = true
+				s.markDropped(r.pkt)
+				continue
+			}
+			moves = append(moves, move{from: -1, to: int(r.to), src: int(r.from)})
+		}
+	}
+	s.moves = moves
+	return moves
+}

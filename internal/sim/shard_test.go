@@ -1,0 +1,189 @@
+package sim
+
+// White-box tests for the shard worker pool: panic containment and, most
+// importantly, goroutine hygiene — every way a run can end must leave the
+// process goroutine count where it started (goleak-style, stdlib-only).
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestMain drops the sharded planner's engagement threshold to a single
+// active buffer for the entire sim test binary (both this package's tests
+// and the black-box sim_test battery): every simulator configured with
+// Shards > 1 then exercises the parallel path on every live cycle, however
+// small the scenario, so the differential tests can never silently compare
+// the sequential planner against itself. Output is identical either way;
+// only the planner choice is forced.
+func TestMain(m *testing.M) {
+	shardWorkMin = 1
+	os.Exit(m.Run())
+}
+
+// waitGoroutines polls until the process goroutine count returns to the
+// baseline. Exited goroutines take a few scheduler beats to retire, so an
+// instantaneous compare is flaky; a bounded poll loop with a short sleep is
+// the stdlib rendering of goleak's stabilization scheme.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestShardPoolPanicPropagation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	p := newShardPool(4)
+	recovered := func(fn func(int)) (pv any) {
+		defer func() { pv = recover() }()
+		p.run(fn)
+		return nil
+	}
+	// A single worker panic crosses the barrier back to the caller.
+	if pv := recovered(func(shard int) {
+		if shard == 2 {
+			panic("shard 2 boom")
+		}
+	}); pv != "shard 2 boom" {
+		t.Fatalf("recovered %v, want shard 2's panic", pv)
+	}
+	// The pool survives a panic: the next dispatch still runs every shard.
+	ran := make([]bool, 4)
+	p.run(func(shard int) { ran[shard] = true })
+	for shard, ok := range ran {
+		if !ok {
+			t.Fatalf("shard %d did not run after a recovered panic", shard)
+		}
+	}
+	// Simultaneous panics resolve deterministically: lowest shard wins.
+	if pv := recovered(func(shard int) { panic(shard) }); pv != 0 {
+		t.Fatalf("recovered %v, want shard 0's panic", pv)
+	}
+	p.close()
+	p.close() // idempotent
+	waitGoroutines(t, baseline)
+}
+
+// meshSystem builds a two-router full mesh with an all-to-all workload
+// heavy enough to keep buffers occupied, on a simulator with the given
+// config. (White-box tests cannot use internal/workload or internal/core —
+// both import this package.)
+func meshSystem(t *testing.T, cfg Config) (*Simulator, *routing.Tables) {
+	t.Helper()
+	fm := topology.NewFullMesh(3, 6)
+	tb := routing.FullMesh(fm)
+	s := New(fm.Network, router.AllowAll(fm.Network), cfg)
+	n := fm.Network.NumNodes()
+	var specs []PacketSpec
+	for rep := 0; rep < 4; rep++ {
+		for src := 0; src < n; src++ {
+			specs = append(specs, PacketSpec{Src: src, Dst: (src + 4) % n, Flits: 6, InjectCycle: rep})
+		}
+	}
+	if err := s.AddBatch(tb, specs); err != nil {
+		t.Fatal(err)
+	}
+	return s, tb
+}
+
+// TestShardGoroutineHygiene proves the shard pool leaks nothing on any exit
+// path: a completed Run (Finish), deadlock detection, a run abandoned
+// mid-flight via Close, and a hook panic recovered by the caller while a
+// scheduled fault is in play.
+func TestShardGoroutineHygiene(t *testing.T) {
+	t.Run("run-finish", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		s, _ := meshSystem(t, Config{FIFODepth: 2, Shards: 4})
+		res := s.Run()
+		if res.Deadlocked || res.Delivered == 0 {
+			t.Fatalf("scenario did not complete: %+v", res)
+		}
+		if s.ShardedCycles() == 0 {
+			t.Fatal("sharded planner never engaged; the hygiene run tested nothing")
+		}
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("deadlock-detection", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		rg := topology.NewRing(4, 1)
+		tb := routing.RingClockwise(rg)
+		s := New(rg.Network, router.AllowAll(rg.Network), Config{
+			FIFODepth: 2, DeadlockThreshold: 200, Shards: 3,
+		})
+		for src := 0; src < 4; src++ {
+			if err := s.AddBatch(tb, []PacketSpec{{Src: src, Dst: (src + 2) % 4, Flits: 32}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := s.Run()
+		if !res.Deadlocked {
+			t.Fatalf("expected a deadlock, got %+v", res)
+		}
+		if s.ShardedCycles() == 0 {
+			t.Fatal("sharded planner never engaged before the deadlock")
+		}
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("abandoned-mid-run", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		s, _ := meshSystem(t, Config{FIFODepth: 2, Shards: 4})
+		s.Start()
+		s.StepTo(3)
+		if !s.Running() {
+			t.Fatal("scenario resolved before it could be abandoned")
+		}
+		// An external controller hitting an error abandons the run without
+		// Finish; Close alone must reap the pool.
+		s.Close()
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("hook-panic-recovered", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		s, _ := meshSystem(t, Config{FIFODepth: 2, Shards: 4})
+		if err := s.ScheduleFault(LinkFault{Cycle: 2, Link: 0}); err != nil {
+			t.Fatal(err)
+		}
+		s.OnDelivered(func(spec PacketSpec, now int) { panic("hook boom") })
+		pv := func() (pv any) {
+			defer func() { pv = recover() }()
+			s.Run()
+			return nil
+		}()
+		if pv != "hook boom" {
+			t.Fatalf("recovered %v, want the hook's panic", pv)
+		}
+		s.Close()
+		waitGoroutines(t, baseline)
+
+		// The run is resumable after the recovered panic: clearing the hook
+		// and finishing must work and again leave no goroutines behind.
+		s.OnDelivered(nil)
+		for s.Running() {
+			s.StepTo(s.Now() + 1)
+		}
+		res := s.Finish()
+		if res.Delivered == 0 {
+			t.Fatalf("resumed run delivered nothing: %+v", res)
+		}
+		waitGoroutines(t, baseline)
+	})
+}
