@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint certify verify-fabric chaos-smoke
+.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency codecert certify verify-fabric chaos-smoke
 
 all: build test
 
@@ -24,6 +24,23 @@ vet-lint:
 	$(GO) build -o bin/simlint ./cmd/simlint
 	$(GO) vet -vettool=$(abspath bin/simlint) ./...
 
+# lint-concurrency runs only the deadlock/leak analyzers (lockorder,
+# goleak, chanclose) over internal/... — the acyclicity argument the
+# simulator makes about fabrics, turned on our own code. See README.md
+# "Code deadlock certificate".
+lint-concurrency:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	bin/simlint -enable lockorder,goleak,chanclose ./internal/...
+
+# codecert regenerates the concurrency code certificate and byte-compares
+# it against the committed golden; a concurrency change that alters the
+# proof must re-commit the golden deliberately
+# (go test ./internal/analysis/codecert -update).
+codecert:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	bin/simlint -certify > bin/codecert.json
+	cmp bin/codecert.json internal/analysis/codecert/testdata/codecert.golden.json
+
 # certify re-proves the Dally–Seitz deadlock-freedom certificate for every
 # built-in topology × routing pair.
 certify:
@@ -37,12 +54,13 @@ certify:
 verify-fabric:
 	$(GO) run ./cmd/fabricver -all
 
-# check is the CI gate: go vet, the simlint determinism suite, the static
+# check is the CI gate: go vet, the simlint determinism suite, the
+# concurrency analyzers plus their committed code certificate, the static
 # deadlock certificates, the whole-fabric verification matrix, the full
 # test suite under the race detector (the parallel experiment engine must
 # be race-clean), one pass over every benchmark so a broken benchmark
 # cannot land silently, and a small chaos-recovery campaign.
-check: lint certify verify-fabric
+check: lint lint-concurrency codecert certify verify-fabric
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke

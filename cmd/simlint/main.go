@@ -4,21 +4,32 @@
 //
 //	simlint ./...                      # multichecker over package patterns
 //	simlint -enable nondet,maporder ./...
+//	simlint -certify                   # emit the concurrency code certificate
+//	simlint -ignores                   # inventory all //simlint:ignore directives
 //	go vet -vettool=$(which simlint) ./...   # unit-checker protocol
 //
-// Findings print as file:line:col: message (analyzer). The exit status is
+// Findings print as file:line:col: message (analyzer), deduplicated
+// across loaded packages and sorted with working-directory-relative
+// paths, so the output is byte-stable for CI diffing. The exit status is
 // 0 when clean, 1 on findings, 2 on a driver error. A finding is
-// suppressed by an inline `//simlint:ignore <names> <why>` directive on
-// the same or preceding line; see README.md "Determinism contract".
+// suppressed by an inline `//simlint:ignore <names> — <why>` directive on
+// the same or preceding line; the reason is mandatory (a bare directive
+// is itself a finding); see README.md "Determinism contract".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/codecert"
 	"repro/internal/analysis/load"
 	"repro/internal/analyzers"
 )
@@ -32,6 +43,8 @@ func run(args []string) int {
 	fs.SetOutput(os.Stderr)
 	enable := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	certify := fs.Bool("certify", false, "emit the concurrency code certificate for ./internal/... and exit 0 iff it proves clean")
+	ignores := fs.Bool("ignores", false, "list every //simlint:ignore directive in the module; exit 1 on bare or reasonless ones")
 	version := fs.Bool("V", false, "print version and exit (go vet tool-ID handshake)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [-enable names] [packages]\n\n")
@@ -91,6 +104,18 @@ func run(args []string) int {
 		return 0
 	}
 
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	if *certify {
+		return runCertify(wd)
+	}
+	if *ignores {
+		return runIgnores(wd)
+	}
+
 	suite, ok := analyzers.ByName(splitNames(*enable))
 	if !ok {
 		fmt.Fprintf(os.Stderr, "simlint: unknown analyzer in -enable=%q\n", *enable)
@@ -101,30 +126,116 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	wd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-		return 2
-	}
 	pkgs, err := load.Packages(wd, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 2
 	}
 
-	exit := 0
+	// Collect across packages, then sort, dedup and relativize: several
+	// patterns can load the same package, and CI byte-compares the output.
+	var all []analysis.Finding
 	for _, pkg := range pkgs {
-		findings, err := analysis.Run(suite, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		findings, _, err := analysis.Run(suite, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", pkg.ImportPath, err)
 			return 2
 		}
-		for _, f := range findings {
-			fmt.Printf("%s\n", f)
-			exit = 1
+		all = append(all, findings...)
+	}
+	analysis.SortFindings(all)
+	all = analysis.Dedup(all)
+	for i := range all {
+		all[i].Position.Filename = relPath(wd, all[i].Position.Filename)
+	}
+	for _, f := range all {
+		fmt.Printf("%s\n", f)
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runCertify builds the concurrency code certificate, prints it to
+// stdout, and reports success only when the certificate proves clean.
+func runCertify(wd string) int {
+	cert, err := codecert.Build(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	b, err := codecert.Marshal(cert)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	if _, err := os.Stdout.Write(b); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	if !cert.OK {
+		fmt.Fprintf(os.Stderr, "simlint: certificate is NOT clean (see findings / ok:false entries above)\n")
+		return 1
+	}
+	return 0
+}
+
+// runIgnores inventories every //simlint:ignore directive in the module
+// (testdata, vendor and hidden trees excluded — fixtures exercise broken
+// directives on purpose) and fails on bare or reasonless ones.
+func runIgnores(wd string) int {
+	root, err := load.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	exit := 0
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
 		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, dir := range analysis.ParseDirectives(fset, []*ast.File{file}) {
+			site := fmt.Sprintf("%s:%d", relPath(root, dir.Pos.Filename), dir.Pos.Line)
+			if dir.Err != "" {
+				fmt.Printf("%s: MALFORMED: %s\n", site, dir.Err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("%s: %s — %s\n", site, strings.Join(dir.Analyzers, ","), dir.Reason)
+		}
+		return nil
+	})
+	if walkErr != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", walkErr)
+		return 2
 	}
 	return exit
+}
+
+// relPath renders path relative to base with forward slashes, leaving it
+// untouched when no relative form exists.
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return path
 }
 
 // splitVetInvocation detects the unit-checker calling convention: the

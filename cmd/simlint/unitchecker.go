@@ -106,7 +106,7 @@ func runUnitChecker(cfgFile string) error {
 		return fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 
-	findings, err := analysis.Run(analyzers.All(), fset, files, pkg, info)
+	findings, _, err := analysis.Run(analyzers.All(), fset, files, pkg, info)
 	if err != nil {
 		return err
 	}

@@ -76,10 +76,13 @@ func (f Finding) String() string {
 
 // Run applies analyzers to one loaded package and returns the findings
 // with suppression directives (see suppress.go) already applied, sorted
-// by file, line and column.
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
-	sup := collectSuppressions(fset, files)
-	var out []Finding
+// by file, line and column, plus each analyzer's result value keyed by
+// analyzer name (nil results omitted) — the raw material of the code
+// certificate. Malformed suppression directives are findings too, under
+// the name "ignore".
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, map[string]any, error) {
+	sup, out := collectSuppressions(fset, files)
+	results := map[string]any{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -95,12 +98,16 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			}
 			out = append(out, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
 		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		if res != nil {
+			results[a.Name] = res
 		}
 	}
 	SortFindings(out)
-	return out, nil
+	return out, results, nil
 }
 
 // SortFindings orders findings by file, line, column, then analyzer name,
@@ -119,4 +126,30 @@ func SortFindings(fs []Finding) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// Dedup drops findings that repeat an earlier finding's file, line,
+// column and analyzer, keeping the first. A multichecker run loads a
+// package for every pattern that matches it, so the same diagnostic can
+// surface several times; position identity is the dedup key because the
+// message is a pure function of the flagged code. The input must already
+// be sorted (SortFindings) for "first" to be deterministic.
+func Dedup(fs []Finding) []Finding {
+	type key struct {
+		file     string
+		line     int
+		col      int
+		analyzer string
+	}
+	seen := map[key]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		k := key{f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
 }

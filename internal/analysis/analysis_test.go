@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{file}
+}
+
+// lineFlagger reports one diagnostic on every statement of every function,
+// giving each line of the fixture something a directive could suppress.
+var lineFlagger = &Analyzer{
+	Name: "flag",
+	Doc:  "flags every statement (test analyzer)",
+	Run: func(p *Pass) (any, error) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if s, ok := n.(*ast.ExprStmt); ok {
+					p.Reportf(s.Pos(), "flagged")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestSuppressionRequiresReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	println(1) //simlint:ignore flag — demo fixture
+	_ = 0
+	println(2) //simlint:ignore flag
+	_ = 0
+	println(3) //simlint:ignore
+	_ = 0
+	println(4)
+}
+`
+	fset, files := parseSrc(t, src)
+	findings, _, err := Run([]*Analyzer{lineFlagger}, fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 4 is suppressed (named analyzer + reason); a directive also
+	// covers the line below it, hence the `_ = 0` spacers. Lines 6 and 8
+	// carry malformed directives, so each yields BOTH the flag finding
+	// (not suppressed) and an "ignore" finding. Line 10 is just flagged.
+	byLine := map[int][]string{}
+	for _, f := range findings {
+		byLine[f.Position.Line] = append(byLine[f.Position.Line], f.Analyzer)
+	}
+	if got := byLine[4]; got != nil {
+		t.Errorf("line 4 (valid suppression) has findings %v, want none", got)
+	}
+	for _, line := range []int{6, 8} {
+		got := strings.Join(byLine[line], ",")
+		if got != "flag,ignore" {
+			t.Errorf("line %d findings = %q, want flag and ignore", line, got)
+		}
+	}
+	if got := strings.Join(byLine[10], ","); got != "flag" {
+		t.Errorf("line 10 findings = %q, want flag", got)
+	}
+}
+
+func TestSuppressionCoversNextLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	//simlint:ignore flag — covers the statement below
+	println(1)
+	println(2)
+}
+`
+	fset, files := parseSrc(t, src)
+	findings, _, err := Run([]*Analyzer{lineFlagger}, fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Position.Line != 6 {
+		t.Errorf("findings = %v, want exactly one on line 6", findings)
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+//simlint:ignore maporder,nondet — two names, em dash
+//simlint:ignore flag -- double hyphen
+//simlint:ignore flag reason with no separator
+//simlint:ignore flag
+//simlint:ignore
+func f() {}
+`
+	fset, files := parseSrc(t, src)
+	ds := ParseDirectives(fset, files)
+	if len(ds) != 5 {
+		t.Fatalf("parsed %d directives, want 5", len(ds))
+	}
+	if got := strings.Join(ds[0].Analyzers, ","); got != "maporder,nondet" {
+		t.Errorf("directive 0 analyzers = %q", got)
+	}
+	if ds[0].Reason != "two names, em dash" || ds[0].Err != "" {
+		t.Errorf("directive 0 = %+v", ds[0])
+	}
+	if ds[1].Reason != "double hyphen" || ds[1].Err != "" {
+		t.Errorf("directive 1 = %+v", ds[1])
+	}
+	if ds[2].Reason != "reason with no separator" || ds[2].Err != "" {
+		t.Errorf("directive 2 = %+v", ds[2])
+	}
+	if ds[3].Err == "" {
+		t.Error("directive 3 (no reason) not marked malformed")
+	}
+	if ds[4].Err == "" {
+		t.Error("directive 4 (bare) not marked malformed")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	pos := func(file string, line int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: 1}
+	}
+	fs := []Finding{
+		{Analyzer: "a", Position: pos("x.go", 1), Message: "m"},
+		{Analyzer: "a", Position: pos("x.go", 1), Message: "m"},
+		{Analyzer: "b", Position: pos("x.go", 1), Message: "m"},
+		{Analyzer: "a", Position: pos("x.go", 2), Message: "m"},
+		{Analyzer: "a", Position: pos("y.go", 1), Message: "m"},
+	}
+	SortFindings(fs)
+	got := Dedup(fs)
+	if len(got) != 4 {
+		t.Fatalf("Dedup kept %d findings, want 4: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Position.Filename == b.Position.Filename &&
+			a.Position.Line == b.Position.Line &&
+			a.Analyzer == b.Analyzer {
+			t.Errorf("duplicate survived: %v", b)
+		}
+	}
+}

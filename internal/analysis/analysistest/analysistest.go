@@ -46,7 +46,7 @@ func Run(t *testing.T, a *analysis.Analyzer, srcDir, fixture string) []analysis.
 	if err != nil {
 		t.Fatalf("analysistest: loading %s: %v", dir, err)
 	}
-	findings, err := analysis.Run([]*analysis.Analyzer{a}, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+	findings, _, err := analysis.Run([]*analysis.Analyzer{a}, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
 	if err != nil {
 		t.Fatalf("analysistest: running %s: %v", a.Name, err)
 	}

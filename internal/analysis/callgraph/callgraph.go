@@ -1,0 +1,188 @@
+// Package callgraph builds a conservative package-level call graph over
+// the functions of one type-checked package: every FuncDecl and every
+// FuncLit becomes a node, static calls (direct function calls, method
+// calls with a statically known receiver type, immediately invoked
+// literals) become edges, and a nested function literal is linked from
+// its enclosing function — a literal may run whenever its encloser does,
+// so effects computed transitively over the graph (locks a function may
+// acquire, joins it may perform) stay sound without tracking where the
+// literal value flows. Calls through interface values, function-typed
+// variables and imported packages have no edge: the analyzers built on
+// this graph treat unknown callees as effect-free, which keeps them
+// quiet rather than noisy and is documented per analyzer.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Func is one function-like node of the graph.
+type Func struct {
+	// Obj is the declared object; nil for function literals.
+	Obj *types.Func
+	// Decl / Lit: exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Name is a stable display name: "Map", "(*Stats).Record", or
+	// "Map$1" for the first literal inside Map.
+	Name string
+	// Body may be nil for a declaration without implementation.
+	Body *ast.BlockStmt
+	// Callees are the statically resolved intra-package callees plus
+	// every directly nested function literal, deduplicated, in first-use
+	// order (which is source order, hence deterministic).
+	Callees []*Func
+}
+
+func (f *Func) String() string { return f.Name }
+
+// Pos returns the declaration position.
+func (f *Func) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// Graph is the package call graph. Funcs is in source order.
+type Graph struct {
+	Funcs  []*Func
+	byNode map[ast.Node]*Func
+	byObj  map[*types.Func]*Func
+}
+
+// Build constructs the graph for the pass's package.
+func Build(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{byNode: map[ast.Node]*Func{}, byObj: map[*types.Func]*Func{}}
+
+	// Pass 1: one node per function-like AST node. Literal names count
+	// occurrences inside their enclosing top-level declaration.
+	for _, file := range files {
+		litCount := map[*Func]int{}
+		analysis.WithStack([]*ast.File{file}, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				f := &Func{Obj: declObj(info, n), Decl: n, Name: declName(n), Body: n.Body}
+				g.Funcs = append(g.Funcs, f)
+				g.byNode[n] = f
+				if f.Obj != nil {
+					g.byObj[f.Obj] = f
+				}
+			case *ast.FuncLit:
+				encl := g.byNode[analysis.EnclosingFunc(stack[:len(stack)-1])]
+				name := "func"
+				if encl != nil {
+					litCount[encl]++
+					name = fmt.Sprintf("%s$%d", encl.Name, litCount[encl])
+				}
+				f := &Func{Lit: n, Name: name, Body: n.Body}
+				g.Funcs = append(g.Funcs, f)
+				g.byNode[n] = f
+			}
+			return true
+		})
+	}
+
+	// Pass 2: edges. Each call or nested literal links from the function
+	// that directly contains it.
+	for _, file := range files {
+		analysis.WithStack([]*ast.File{file}, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if encl := g.byNode[analysis.EnclosingFunc(stack[:len(stack)-1])]; encl != nil {
+					encl.addCallee(g.byNode[n])
+				}
+			case *ast.CallExpr:
+				encl := g.byNode[analysis.EnclosingFunc(stack)]
+				if encl == nil {
+					return true // package-level initializer expression
+				}
+				if callee := g.StaticCallee(info, n); callee != nil {
+					encl.addCallee(callee)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+func (f *Func) addCallee(callee *Func) {
+	if callee == nil || callee == f {
+		return
+	}
+	for _, c := range f.Callees {
+		if c == callee {
+			return
+		}
+	}
+	f.Callees = append(f.Callees, callee)
+}
+
+// FuncFor returns the node for a *ast.FuncDecl or *ast.FuncLit, or nil.
+func (g *Graph) FuncFor(n ast.Node) *Func { return g.byNode[n] }
+
+// StaticCallee resolves a call expression to an intra-package function
+// node when the callee is statically known: a named function or method of
+// this package, or an immediately invoked literal. Returns nil otherwise.
+func (g *Graph) StaticCallee(info *types.Info, call *ast.CallExpr) *Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return g.byObj[fn]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return g.byObj[fn]
+			}
+		}
+		// Qualified call pkg.F: Uses resolves the selector identifier.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return g.byObj[fn]
+		}
+	case *ast.FuncLit:
+		return g.byNode[fun]
+	}
+	return nil
+}
+
+// Transitive reports whether pred holds for f or any function reachable
+// from f through the call graph (including nested literals).
+func (g *Graph) Transitive(f *Func, pred func(*Func) bool) bool {
+	seen := map[*Func]bool{}
+	var walk func(*Func) bool
+	walk = func(fn *Func) bool {
+		if fn == nil || seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		if pred(fn) {
+			return true
+		}
+		for _, c := range fn.Callees {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(f)
+}
+
+func declObj(info *types.Info, d *ast.FuncDecl) *types.Func {
+	fn, _ := info.Defs[d.Name].(*types.Func)
+	return fn
+}
+
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return fmt.Sprintf("(%s).%s", types.ExprString(d.Recv.List[0].Type), d.Name.Name)
+}

@@ -1,0 +1,121 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+)
+
+const src = `package p
+
+type T struct{ n int }
+
+func (t *T) m() { t.n++ }
+
+func a() {
+	b()
+	t := &T{}
+	t.m()
+}
+
+func b() {
+	c()
+}
+
+func c() {
+	f := func() { b() }
+	f()
+}
+`
+
+func build(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return callgraph.Build(info, []*ast.File{file})
+}
+
+func names(fs []*callgraph.Func) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+func find(t *testing.T, g *callgraph.Graph, name string) *callgraph.Func {
+	t.Helper()
+	for _, f := range g.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %s not in graph (have %v)", name, names(g.Funcs))
+	return nil
+}
+
+func TestBuildNodes(t *testing.T) {
+	g := build(t)
+	want := []string{"(*T).m", "a", "b", "c", "c$1"}
+	for _, n := range want {
+		find(t, g, n)
+	}
+	if len(g.Funcs) != len(want) {
+		t.Errorf("graph has %d funcs %v, want %d", len(g.Funcs), names(g.Funcs), len(want))
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := build(t)
+	cases := map[string][]string{
+		"a":      {"b", "(*T).m"},
+		"b":      {"c"},
+		"c":      {"c$1"},
+		"c$1":    {"b"},
+		"(*T).m": nil,
+	}
+	for caller, want := range cases {
+		got := names(find(t, g, caller).Callees)
+		if len(got) != len(want) {
+			t.Errorf("%s callees = %v, want %v", caller, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s callees = %v, want %v", caller, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestTransitive(t *testing.T) {
+	g := build(t)
+	hitsMethod := func(f *callgraph.Func) bool { return f.Name == "(*T).m" }
+	if !g.Transitive(find(t, g, "a"), hitsMethod) {
+		t.Error("a does not transitively reach (*T).m")
+	}
+	// b -> c -> c$1 -> b is a cycle that never reaches the method; the
+	// walk must terminate and answer false.
+	if g.Transitive(find(t, g, "b"), hitsMethod) {
+		t.Error("b transitively reaches (*T).m, want unreachable")
+	}
+}

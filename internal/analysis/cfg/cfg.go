@@ -1,0 +1,483 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, the dataflow foundation for the concurrency analyzers
+// (lockorder, goleak, chanclose). It is the same miniature philosophy as
+// the rest of internal/analysis: a stdlib-only reduction of
+// x/tools/go/cfg carrying exactly what the simlint suite needs — basic
+// blocks in execution order, every exit path ending at a synthetic exit
+// block, defer registration points, and the two path queries the
+// analyzers ask ("does every path from this statement to function exit
+// pass a joining node?", "can this registration reach that spawn?").
+//
+// The analogy to the paper is deliberate: the fabric verifier proves
+// network deadlock freedom by showing the channel-dependency graph is
+// acyclic; these CFGs let the same style of graph argument run over the
+// repository's own Go code, so the prover's concurrency is certified by
+// the machinery it implements.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; Exit is a synthetic empty block every return, panic and
+// fall-off-the-end edge targets, so "all exit paths" is exactly "all
+// paths reaching Exit".
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in registration order; defers
+	// also appear as ordinary nodes in their blocks, so path queries see
+	// the registration point.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: a straight-line node sequence followed by a
+// branch to the successor blocks. Nodes hold the statements and the
+// control expressions (if/for conditions, switch tags, range headers) in
+// execution order.
+type Block struct {
+	Index int
+	Desc  string
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+func (b *Block) String() string {
+	succs := make([]string, len(b.Succs))
+	for i, s := range b.Succs {
+		succs[i] = fmt.Sprint(s.Index)
+	}
+	return fmt.Sprintf("b%d(%s)->[%s]", b.Index, b.Desc, strings.Join(succs, ","))
+}
+
+// RangeHead marks the repeatedly-evaluated header of a range loop in a
+// block's node list. The loop body is NOT under this node — predicates
+// scanning a RangeHead see only the ranged operand, so "ranges over
+// channel ch" is decidable without walking the body.
+type RangeHead struct{ Range *ast.RangeStmt }
+
+func (r *RangeHead) Pos() token.Pos { return r.Range.Pos() }
+func (r *RangeHead) End() token.Pos { return r.Range.X.End() }
+
+// New builds the CFG of a function body. A nil body (a declaration
+// without implementation) yields entry -> exit.
+func New(body *ast.BlockStmt) *CFG {
+	c := &CFG{Exit: &Block{Desc: "exit"}}
+	b := &builder{c: c, labels: map[string]*Block{}}
+	c.Entry = b.block("entry")
+	b.cur = c.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(c.Exit)
+	c.Exit.Index = len(c.Blocks)
+	c.Blocks = append(c.Blocks, c.Exit)
+	return c
+}
+
+// scope is one enclosing breakable construct (loop, switch, select); cont
+// is non-nil only for loops.
+type scope struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type builder struct {
+	c          *CFG
+	cur        *Block // nil while the current point is unreachable
+	scopes     []scope
+	labels     map[string]*Block
+	nextLabel  string
+	fallTarget *Block // fallthrough destination inside a switch clause
+}
+
+func (b *builder) block(desc string) *Block {
+	blk := &Block{Index: len(b.c.Blocks), Desc: desc}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+// ensure returns the current block, materializing a predecessor-less one
+// for unreachable code so every statement is still findable in some block.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.block("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// jump adds an edge from the current block to dst (no-op when
+// unreachable). The current block stays current.
+func (b *builder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+func edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+func (b *builder) startBlock(blk *Block) { b.cur = blk }
+
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.block("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.block("if.then")
+		done := b.block("if.done")
+		b.jump(then)
+		var els *Block
+		if s.Else != nil {
+			els = b.block("if.else")
+			b.jump(els)
+		} else {
+			b.jump(done)
+		}
+		b.startBlock(then)
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			b.startBlock(els)
+			b.stmt(s.Else)
+			b.jump(done)
+		}
+		b.startBlock(done)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.block("for.head")
+		body := b.block("for.body")
+		done := b.block("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.block("for.post")
+		}
+		b.jump(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(body)
+			b.jump(done)
+		} else {
+			b.jump(body) // for {}: the only way out is break/return
+		}
+		b.scopes = append(b.scopes, scope{label: label, brk: done, cont: post})
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.jump(post)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if s.Post != nil {
+			b.startBlock(post)
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.startBlock(done)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.block("range.head")
+		body := b.block("range.body")
+		done := b.block("range.done")
+		b.jump(head)
+		b.startBlock(head)
+		b.add(&RangeHead{Range: s})
+		b.jump(body)
+		b.jump(done)
+		b.scopes = append(b.scopes, scope{label: label, brk: done, cont: head})
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.jump(head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.startBlock(done)
+
+	case *ast.SwitchStmt:
+		var clauses []*ast.CaseClause
+		for _, cs := range s.Body.List {
+			clauses = append(clauses, cs.(*ast.CaseClause))
+		}
+		b.caseSwitch(s.Init, s.Tag, nil, clauses, true)
+
+	case *ast.TypeSwitchStmt:
+		var clauses []*ast.CaseClause
+		for _, cs := range s.Body.List {
+			clauses = append(clauses, cs.(*ast.CaseClause))
+		}
+		b.caseSwitch(s.Init, nil, s.Assign, clauses, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.ensure()
+		done := b.block("select.done")
+		b.scopes = append(b.scopes, scope{label: label, brk: done})
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			blk := b.block("select.case")
+			edge(head, blk)
+			b.startBlock(blk)
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(done)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		// A select {} with no cases blocks forever: head keeps no
+		// successors and done has no predecessors, making whatever
+		// follows unreachable — which starting done as current models.
+		b.startBlock(done)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.startBlock(lb)
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findScope(s.Label, false); t != nil {
+				b.jump(t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findScope(s.Label, true); t != nil {
+				b.jump(t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.jump(b.labelBlock(s.Label.Name))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.jump(b.fallTarget)
+			}
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.c.Exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.c.Defers = append(b.c.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.jump(b.c.Exit)
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Go, Send, Assign, IncDec, Decl, ...: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// caseSwitch builds switch and type-switch statements. tag/assign is the
+// evaluated header; clauses run as alternative branches with optional
+// fallthrough chaining (expression switches only).
+func (b *builder) caseSwitch(init ast.Stmt, tag ast.Expr, assign ast.Stmt, clauses []*ast.CaseClause, allowFall bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.ensure()
+	done := b.block("switch.done")
+	bodyBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodyBlocks[i] = b.block("switch.case")
+		edge(head, bodyBlocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(head, done)
+	}
+	b.scopes = append(b.scopes, scope{label: label, brk: done})
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		b.startBlock(bodyBlocks[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if allowFall && i+1 < len(clauses) {
+			b.fallTarget = bodyBlocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	b.fallTarget = savedFall
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.startBlock(done)
+}
+
+// findScope resolves a break (wantCont=false) or continue (wantCont=true)
+// target, honoring labels.
+func (b *builder) findScope(label *ast.Ident, wantCont bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if wantCont && sc.cont == nil {
+			continue
+		}
+		if label != nil && sc.label != label.Name {
+			continue
+		}
+		if wantCont {
+			return sc.cont
+		}
+		return sc.brk
+	}
+	return nil
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// find locates the block and node index holding n (by node identity).
+func (c *CFG) find(n ast.Node) (*Block, int, bool) {
+	for _, blk := range c.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return blk, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// EveryPathHits reports whether every control-flow path from immediately
+// after start to the function exit passes at least one node matching hit.
+// Paths that never reach the exit (infinite loops, select{}) are vacuously
+// covered. When start is not in the graph the answer is false — the
+// conservative direction for "is this obligation guaranteed?".
+func (c *CFG) EveryPathHits(start ast.Node, hit func(ast.Node) bool) bool {
+	blk, idx, ok := c.find(start)
+	if !ok {
+		return false
+	}
+	type item struct {
+		b *Block
+		i int
+	}
+	seen := map[*Block]bool{}
+	stack := []item{{blk, idx + 1}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		covered := false
+		for i := it.i; i < len(it.b.Nodes); i++ {
+			if hit(it.b.Nodes[i]) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		for _, succ := range it.b.Succs {
+			if succ == c.Exit {
+				return false
+			}
+			if !seen[succ] {
+				seen[succ] = true
+				stack = append(stack, item{succ, 0})
+			}
+		}
+	}
+	return true
+}
+
+// Reaches reports whether control can flow from immediately after `from`
+// to the node `to` (both located by identity in the graph).
+func (c *CFG) Reaches(from, to ast.Node) bool {
+	blk, idx, ok := c.find(from)
+	if !ok {
+		return false
+	}
+	type item struct {
+		b *Block
+		i int
+	}
+	seen := map[*Block]bool{}
+	stack := []item{{blk, idx + 1}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := it.i; i < len(it.b.Nodes); i++ {
+			if it.b.Nodes[i] == to {
+				return true
+			}
+		}
+		for _, succ := range it.b.Succs {
+			if !seen[succ] {
+				seen[succ] = true
+				stack = append(stack, item{succ, 0})
+			}
+		}
+	}
+	return false
+}

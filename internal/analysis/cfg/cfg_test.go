@@ -1,0 +1,122 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// buildFunc parses a function body (written as the body of func f) and
+// returns its CFG plus the AST for marker lookup.
+func buildFunc(t *testing.T, body string) *cfg.CFG {
+	t.Helper()
+	src := "package p\nfunc f(b bool, n int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(file.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// marker finds the block node for the statement calling the named
+// function, searching the CFG's own node lists so identity matches.
+func marker(t *testing.T, c *cfg.CFG, name string) ast.Node {
+	t.Helper()
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			call := n
+			if es, ok := n.(ast.Stmt); ok {
+				if e, ok := es.(*ast.ExprStmt); ok {
+					call = e.X
+				}
+				if d, ok := es.(*ast.DeferStmt); ok {
+					if id, ok := d.Call.Fun.(*ast.Ident); ok && id.Name == name {
+						return n
+					}
+				}
+			}
+			if ce, ok := call.(*ast.CallExpr); ok {
+				if id, ok := ce.Fun.(*ast.Ident); ok && id.Name == name {
+					return n
+				}
+			}
+		}
+	}
+	t.Fatalf("marker %s not found in CFG", name)
+	return nil
+}
+
+func isHit(n ast.Node) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	ce, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ce.Fun.(*ast.Ident)
+	return ok && id.Name == "hit"
+}
+
+func TestEveryPathHits(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"both branches", `start(); if b { hit() } else { hit() }`, true},
+		{"one branch only", `start(); if b { hit() }`, false},
+		{"after loop", `start(); for i := 0; i < n; i++ { work() }; hit()`, true},
+		{"only inside conditional loop", `start(); for i := 0; i < n; i++ { hit() }`, false},
+		{"infinite loop never exits", `start(); for { work() }`, true},
+		{"range body not guaranteed", `start(); for range ch { hit() }`, false},
+		{"panic path escapes", `start(); if b { panic("x") }; hit()`, false},
+		{"hit before panic branch", `start(); hit(); if b { panic("x") }`, true},
+		{"switch all cases", `start(); switch n { case 1: hit(); default: hit() }`, true},
+		{"switch missing default", `start(); switch n { case 1: hit() }`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := buildFunc(t, tc.body)
+			got := c.EveryPathHits(marker(t, c, "start"), isHit)
+			if got != tc.want {
+				t.Errorf("EveryPathHits = %v, want %v\nbody: %s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+func TestReachesDeferOrder(t *testing.T) {
+	// A defer registered before the marker reaches it; one registered
+	// after (on a later path) does not.
+	c := buildFunc(t, `defer hit(); start()`)
+	if !c.Reaches(marker(t, c, "hit"), marker(t, c, "start")) {
+		t.Error("defer before start: Reaches = false, want true")
+	}
+	c = buildFunc(t, `start(); defer hit()`)
+	if c.Reaches(marker(t, c, "hit"), marker(t, c, "start")) {
+		t.Error("defer after start: Reaches = true, want false")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	c := buildFunc(t, `defer hit(); if b { defer work() }`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(c.Defers))
+	}
+}
+
+func TestExitTerminal(t *testing.T) {
+	c := buildFunc(t, `if b { return }; work()`)
+	if len(c.Exit.Succs) != 0 {
+		t.Errorf("exit block has %d successors, want 0", len(c.Exit.Succs))
+	}
+	if c.Entry != c.Blocks[0] {
+		t.Error("entry is not Blocks[0]")
+	}
+}

@@ -1,0 +1,81 @@
+package codecert
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden certificate")
+
+// TestCertificateGolden regenerates the code deadlock certificate for the
+// real repository and byte-compares it against the committed golden. CI
+// runs the same comparison, so a concurrency change that alters the
+// certificate must re-commit the golden deliberately (-update).
+func TestCertificateGolden(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Join(filepath.Dir(file), "..", "..", "..")
+
+	cert, err := Build(root)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !cert.OK {
+		t.Errorf("certificate is not OK: findings=%v lock_order.acyclic=%v",
+			cert.Findings, cert.LockOrder.Acyclic)
+	}
+	got, err := Marshal(cert)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+
+	golden := filepath.Join(filepath.Dir(file), "testdata", "codecert.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("certificate differs from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestMarshalStable asserts byte-for-byte determinism across builds in
+// the same process.
+func TestMarshalStable(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Join(filepath.Dir(file), "..", "..", "..")
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		cert, err := Build(root)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		b, err := Marshal(cert)
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		if prev != nil && string(prev) != string(b) {
+			t.Fatal("two builds produced different certificate bytes")
+		}
+		prev = b
+	}
+}

@@ -129,6 +129,24 @@ func Fixture(dir string) (*Package, error) {
 	return checkParsed(fset, imp, lp, files)
 }
 
+// ModuleRoot returns the root directory of the module containing dir
+// (the directory holding go.mod), via `go env GOMOD`.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("load: go env GOMOD: %v\n%s", err, stderr.String())
+	}
+	gomod := strings.TrimSpace(stdout.String())
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("load: %s is not inside a module", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{
 		"list", "-export", "-deps",

@@ -4,6 +4,7 @@ import (
 	"go/types"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -52,4 +53,72 @@ func TestPackagesResolvesIntraModuleImports(t *testing.T) {
 	if len(pkgs) != 1 {
 		t.Fatalf("got %d packages, want 1", len(pkgs))
 	}
+}
+
+func TestPackagesMultiFile(t *testing.T) {
+	pkgs, err := Packages(repoRoot(t), "repro/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n < 4 {
+		t.Errorf("sim parsed into %d files, want >= 4 (multi-file package)", n)
+	}
+	// Every parsed file must have type info recorded in the shared Info.
+	if len(pkgs[0].TypesInfo.Defs) == 0 {
+		t.Error("TypesInfo.Defs empty for multi-file package")
+	}
+}
+
+func TestPackagesMultiplePatterns(t *testing.T) {
+	pkgs, err := Packages(repoRoot(t), "repro/internal/graph", "repro/internal/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	// Packages sorts by import path regardless of pattern order.
+	if pkgs[0].ImportPath != "repro/internal/graph" || pkgs[1].ImportPath != "repro/internal/topology" {
+		t.Errorf("packages out of order: %s, %s", pkgs[0].ImportPath, pkgs[1].ImportPath)
+	}
+}
+
+func TestFixtureTypeCheckFailure(t *testing.T) {
+	_, err := Fixture(filepath.Join(filepath.Dir(mustCallerFile(t)), "testdata", "badpkg"))
+	if err == nil {
+		t.Fatal("loading badpkg succeeded, want type-check error")
+	}
+	if !strings.Contains(err.Error(), "type-checking badpkg") {
+		t.Errorf("error %q does not name the failing package", err)
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := filepath.Abs(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("ModuleRoot = %s, want %s", got, want)
+	}
+}
+
+func mustCallerFile(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return file
 }

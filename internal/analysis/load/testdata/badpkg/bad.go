@@ -1,0 +1,7 @@
+// badpkg parses cleanly but fails the type checker: the loader must
+// surface the error instead of analyzing a half-checked package.
+package badpkg
+
+func f() int {
+	return "not an int"
+}

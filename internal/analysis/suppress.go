@@ -9,14 +9,76 @@ import (
 
 // A //simlint:ignore directive suppresses findings on its own line and on
 // the line below it, so it works both as a trailing comment and as a
-// standalone comment above the flagged statement. A bare directive
-// suppresses every analyzer; otherwise its first field is a
-// comma-separated list of analyzer names and the rest is free-form
-// justification:
+// standalone comment above the flagged statement. Its first field is a
+// comma-separated list of analyzer names ("*" for all) and the rest is a
+// mandatory justification — a suppression without a reason is itself a
+// finding, reported under the name "ignore", and suppresses nothing:
 //
 //	//simlint:ignore maporder keys are rendered sorted by the caller
-//	rand.Shuffle(n, swap) //simlint:ignore nondet demo only
+//	rand.Shuffle(n, swap) //simlint:ignore nondet — demo only
 const ignoreDirective = "//simlint:ignore"
+
+// IgnoreAnalyzerName is the analyzer name malformed-directive findings
+// are reported under (there is no Analyzer of this name to disable: a
+// broken suppression must always surface).
+const IgnoreAnalyzerName = "ignore"
+
+// Directive is one parsed //simlint:ignore comment, exported for the
+// `simlint -ignores` suppression inventory.
+type Directive struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	// Err explains why the directive is malformed (bare, or missing its
+	// reason); empty for a well-formed directive.
+	Err string
+}
+
+// ParseDirectives extracts every //simlint:ignore directive from the
+// files, well-formed or not, in position order within each file.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				d := parseDirective(strings.TrimPrefix(c.Text, ignoreDirective))
+				d.Pos = fset.Position(c.Pos())
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func parseDirective(rest string) Directive {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{Err: "bare //simlint:ignore suppresses nothing: name the analyzers and a reason (//simlint:ignore analyzer — reason)"}
+	}
+	var d Directive
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			d.Analyzers = append(d.Analyzers, n)
+		}
+	}
+	reason := strings.Join(fields[1:], " ")
+	// An em-dash / hyphen separator between names and reason is idiomatic
+	// but not part of the reason itself.
+	for _, sep := range []string{"—", "–", "--", "-"} {
+		if rest, ok := strings.CutPrefix(reason, sep+" "); ok {
+			reason = rest
+			break
+		}
+	}
+	d.Reason = strings.TrimSpace(reason)
+	if len(d.Analyzers) == 0 || d.Reason == "" {
+		d.Err = "suppression without a reason: every //simlint:ignore needs one (//simlint:ignore analyzer — reason)"
+	}
+	return d
+}
 
 type suppressions struct {
 	// byLine maps file:line to the set of suppressed analyzer names;
@@ -24,33 +86,25 @@ type suppressions struct {
 	byLine map[string]map[string]bool
 }
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+// collectSuppressions builds the suppression table from the well-formed
+// directives and returns one finding per malformed directive — a broken
+// suppression both fails to suppress and fails the lint run.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
 	s := suppressions{byLine: make(map[string]map[string]bool)}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignoreDirective) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, ignoreDirective)
-				names := map[string]bool{}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					names["*"] = true
-				} else {
-					for _, n := range strings.Split(fields[0], ",") {
-						if n = strings.TrimSpace(n); n != "" {
-							names[n] = true
-						}
-					}
-				}
-				pos := fset.Position(c.Pos())
-				s.add(pos.Filename, pos.Line, names)
-				s.add(pos.Filename, pos.Line+1, names)
-			}
+	var bad []Finding
+	for _, d := range ParseDirectives(fset, files) {
+		if d.Err != "" {
+			bad = append(bad, Finding{Analyzer: IgnoreAnalyzerName, Position: d.Pos, Message: d.Err})
+			continue
 		}
+		names := map[string]bool{}
+		for _, n := range d.Analyzers {
+			names[n] = true
+		}
+		s.add(d.Pos.Filename, d.Pos.Line, names)
+		s.add(d.Pos.Filename, d.Pos.Line+1, names)
 	}
-	return s
+	return s, bad
 }
 
 func (s suppressions) add(file string, line int, names map[string]bool) {

@@ -7,6 +7,9 @@ package analyzers
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analyzers/chanclose"
+	"repro/internal/analyzers/goleak"
+	"repro/internal/analyzers/lockorder"
 	"repro/internal/analyzers/maporder"
 	"repro/internal/analyzers/nondet"
 	"repro/internal/analyzers/printfloat"
@@ -14,14 +17,29 @@ import (
 	"repro/internal/analyzers/seedflow"
 )
 
-// All returns the full suite in stable order.
+// All returns the full suite in stable order: the determinism-contract
+// analyzers of PR 2 plus the concurrency-deadlock analyzers backing the
+// code certificate (lockorder, goleak, chanclose).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		chanclose.Analyzer,
+		goleak.Analyzer,
+		lockorder.Analyzer,
 		maporder.Analyzer,
 		nondet.Analyzer,
 		printfloat.Analyzer,
 		reterr.Analyzer,
 		seedflow.Analyzer,
+	}
+}
+
+// Concurrency returns just the deadlock-certificate analyzers, the suite
+// `simlint -certify` runs over internal/... .
+func Concurrency() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		chanclose.Analyzer,
+		goleak.Analyzer,
+		lockorder.Analyzer,
 	}
 }
 

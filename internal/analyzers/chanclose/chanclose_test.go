@@ -1,0 +1,17 @@
+package chanclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/chanclose"
+)
+
+func TestChancloseFixture(t *testing.T) {
+	findings := analysistest.Run(t, chanclose.Analyzer, analysistest.TestData(t), "chanclose")
+	// Regression guard: an analyzer that silently stops reporting would
+	// otherwise pass a fixture with no want comments left.
+	if len(findings) < 4 {
+		t.Fatalf("chanclose reported %d findings on the bad fixture, want >= 4", len(findings))
+	}
+}

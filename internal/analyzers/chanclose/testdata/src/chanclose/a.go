@@ -1,0 +1,88 @@
+// Fixture for the chanclose analyzer: channel sends inside spawned
+// goroutines with and without a guaranteed consumer. Diagnostics land on
+// the send statement itself.
+package chanclose
+
+// blockNoReceiver sends into the void: the goroutine parks forever.
+func blockNoReceiver() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `receive from blockNoReceiver.ch is not guaranteed on every exit path`
+	}()
+}
+
+// blockConditionalRecv drains on one branch only.
+func blockConditionalRecv(b bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `receive from blockConditionalRecv.ch is not guaranteed on every exit path`
+	}()
+	if b {
+		<-ch
+	}
+}
+
+// okRecv is the guaranteed local receive.
+func okRecv() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+
+// okBuffered: a constant-capacity buffer absorbs the send.
+func okBuffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// okSelectDefault: a send under select-with-default can never block.
+func okSelectDefault(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// sender's send is audited at each spawn that runs it; blockParam spawns
+// it with a channel nobody drains.
+func sender(out chan int) {
+	out <- 1 // want `receive from blockParam.ch is not guaranteed on every exit path`
+}
+
+func blockParam() {
+	ch := make(chan int)
+	go sender(ch)
+}
+
+// q publishes its channel as a field; the receive lives in another
+// method, found by the package-wide rule.
+type q struct {
+	ch chan int
+}
+
+func (x *q) start() {
+	go func() {
+		x.ch <- 1
+	}()
+}
+
+func (x *q) drain() int {
+	return <-x.ch
+}
+
+// qleak has the same spawn shape with no receiver anywhere.
+type qleak struct {
+	ch chan int
+}
+
+func (x *qleak) start() {
+	go func() {
+		x.ch <- 1 // want `no receive from chanclose.qleak.ch anywhere in the package`
+	}()
+}

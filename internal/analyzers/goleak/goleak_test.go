@@ -1,0 +1,49 @@
+package goleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+	"repro/internal/analyzers/goleak"
+)
+
+func TestGoleakFixture(t *testing.T) {
+	findings := analysistest.Run(t, goleak.Analyzer, analysistest.TestData(t), "goleak")
+	// Regression guard: an analyzer that silently stops reporting would
+	// otherwise pass a fixture with no want comments left.
+	if len(findings) < 9 {
+		t.Fatalf("goleak reported %d findings on the bad fixture, want >= 9", len(findings))
+	}
+}
+
+// TestGoleakResult checks the audit trail the certificate consumes: every
+// spawn in the fixture must appear, with the failures flagged not-OK.
+func TestGoleakResult(t *testing.T) {
+	pkg, err := load.Fixture(filepath.Join(analysistest.TestData(t), "goleak"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, results, err := analysis.Run([]*analysis.Analyzer{goleak.Analyzer}, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := results[goleak.Analyzer.Name].(goleak.Result)
+	if !ok {
+		t.Fatalf("goleak result has type %T, want goleak.Result", results[goleak.Analyzer.Name])
+	}
+	var passed, failed int
+	for _, sp := range res.Spawns {
+		if sp.OK {
+			passed++
+		} else {
+			failed++
+		}
+	}
+	// a.go has 11 spawns (7 leaks, 4 ok) and b.go has 4 (2 leaks, 2 ok).
+	if passed < 6 || failed < 9 {
+		t.Fatalf("audit saw %d ok / %d failed spawns, want >= 6 / >= 9", passed, failed)
+	}
+}

@@ -1,0 +1,113 @@
+// Fixture for the goleak analyzer: spawns with missing, partial, or
+// conditional join obligations, next to the correct forms each one
+// should have used.
+package goleak
+
+import "sync"
+
+// leakNoObligation spawns a goroutine nothing ever observes.
+func leakNoObligation() {
+	go func() { // want `no join obligation in spawned body`
+		println("work")
+	}()
+}
+
+// leakNoWait has the Done half of the balance but never Waits.
+func leakNoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `Wait on leakNoWait.wg is not guaranteed on every exit path`
+		defer wg.Done()
+	}()
+}
+
+// leakConditionalWait joins on one branch only; the no-wait exit path is
+// the leak.
+func leakConditionalWait(b bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `Wait on leakConditionalWait.wg is not guaranteed on every exit path`
+		defer wg.Done()
+	}()
+	if b {
+		wg.Wait()
+	}
+}
+
+// leakNoAdd waits, but the counter was never incremented: Wait returns
+// immediately and the goroutine outlives the join.
+func leakNoAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `no wg.Add reaches the spawn`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// leakDynamic spawns through a function value the analyzer cannot
+// resolve; an unverifiable join is a loud failure, not a silent pass.
+func leakDynamic(f func()) {
+	go f() // want `not statically resolvable`
+}
+
+// okWait is the canonical local balance.
+func okWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// okDeferredWait registers the join before the spawns; a deferred Wait
+// covers every exit path by construction.
+func okDeferredWait(n int) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// okChanSignal joins on a channel the goroutine signals on.
+func okChanSignal() {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+	<-done
+}
+
+// leakChanSignal only drains the signal on one branch.
+func leakChanSignal(b bool) {
+	done := make(chan int)
+	go func() { // want `receive on leakChanSignal.done is not guaranteed on every exit path`
+		done <- 1
+	}()
+	if b {
+		<-done
+	}
+}
+
+// okChanRange: a ranging worker exits when its channel is closed.
+func okChanRange() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	close(ch)
+}
+
+// leakChanRange never closes the channel its worker ranges over.
+func leakChanRange() {
+	ch := make(chan int)
+	go func() { // want `close on leakChanRange.ch is not guaranteed on every exit path`
+		for range ch {
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/lockorder"
+)
+
+func TestLockorderFixture(t *testing.T) {
+	findings := analysistest.Run(t, lockorder.Analyzer, analysistest.TestData(t), "lockorder")
+	// Regression guard: an analyzer that silently stops reporting would
+	// otherwise pass a fixture with no want comments left.
+	if len(findings) < 3 {
+		t.Fatalf("lockorder reported %d findings on the bad fixture, want >= 3", len(findings))
+	}
+}

@@ -1,0 +1,49 @@
+// Fixture for the lockorder analyzer: a deliberate two-lock cycle split
+// across two files (the closing edge lives in b.go), a recursive
+// self-acquisition through a helper call, and a consistently ordered
+// pair that must stay silent.
+package lockorder
+
+import "sync"
+
+type server struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+}
+
+// ab acquires a then b: one direction of the cycle. The closing b->a
+// edge is in b.go, so the cycle is only visible on the package graph.
+func (s *server) ab() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock-order cycle: lockorder.server.b -> lockorder.server.a -> lockorder.server.b`
+	defer s.b.Unlock()
+}
+
+// recur calls a helper that re-acquires the mutex recur already holds: a
+// self-edge, the one-vertex cycle.
+func (s *server) recur() {
+	s.c.Lock()
+	s.helper() // want `recursive acquisition of lockorder.server.c`
+	s.c.Unlock()
+}
+
+func (s *server) helper() {
+	s.c.Lock()
+	defer s.c.Unlock()
+}
+
+type ordered struct {
+	d sync.Mutex
+	e sync.Mutex
+}
+
+// de acquires d then e and nothing acquires them the other way: a clean
+// edge that must produce no diagnostic.
+func (o *ordered) de() {
+	o.d.Lock()
+	defer o.d.Unlock()
+	o.e.Lock()
+	o.e.Unlock()
+}

@@ -1,0 +1,15 @@
+package lockorder
+
+// ba closes the cycle from a.go: it holds b and acquires a through a
+// call, so the edge comes from the interprocedural acquire-set, not a
+// literal Lock under the held region.
+func (s *server) ba() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.lockA() // want `lock-order cycle: lockorder.server.a -> lockorder.server.b -> lockorder.server.a`
+}
+
+func (s *server) lockA() {
+	s.a.Lock()
+	defer s.a.Unlock()
+}
