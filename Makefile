@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency codecert certify verify-fabric chaos-smoke
+.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency vet-conc codecert certify verify-fabric chaos-smoke
 
 all: build test
 
@@ -24,13 +24,19 @@ vet-lint:
 	$(GO) build -o bin/simlint ./cmd/simlint
 	$(GO) vet -vettool=$(abspath bin/simlint) ./...
 
-# lint-concurrency runs only the deadlock/leak analyzers (lockorder,
-# goleak, chanclose) over internal/... — the acyclicity argument the
-# simulator makes about fabrics, turned on our own code. See README.md
-# "Code deadlock certificate".
+# lint-concurrency runs only the deadlock/leak analyzers (blockcheck,
+# chanclose, chanwait, goleak, lockorder) over internal/... — the
+# acyclicity argument the simulator makes about fabrics, turned on our
+# own code. See README.md "Code deadlock certificate v2".
 lint-concurrency:
 	$(GO) build -o bin/simlint ./cmd/simlint
-	bin/simlint -enable lockorder,goleak,chanclose ./internal/...
+	bin/simlint -enable blockcheck,chanclose,chanwait,goleak,lockorder ./internal/...
+
+# vet-conc runs the stock go vet concurrency passes the simlint suite
+# does not duplicate: copied locks, misused sync/atomic, and (pre-1.22
+# semantics) loop-variable capture in goroutines.
+vet-conc:
+	$(GO) vet -copylocks -atomic -loopclosure ./...
 
 # codecert regenerates the concurrency code certificate and byte-compares
 # it against the committed golden; a concurrency change that alters the
@@ -54,13 +60,14 @@ certify:
 verify-fabric:
 	$(GO) run ./cmd/fabricver -all
 
-# check is the CI gate: go vet, the simlint determinism suite, the
+# check is the CI gate: go vet (plus its named concurrency passes), the
+# simlint determinism suite, the
 # concurrency analyzers plus their committed code certificate, the static
 # deadlock certificates, the whole-fabric verification matrix, the full
 # test suite under the race detector (the parallel experiment engine must
 # be race-clean), one pass over every benchmark so a broken benchmark
 # cannot land silently, and a small chaos-recovery campaign.
-check: lint lint-concurrency codecert certify verify-fabric
+check: lint lint-concurrency vet-conc codecert certify verify-fabric
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke

@@ -4,6 +4,7 @@
 //
 //	simlint ./...                      # multichecker over package patterns
 //	simlint -enable nondet,maporder ./...
+//	simlint -json ./...                # findings as a sorted JSON array
 //	simlint -certify                   # emit the concurrency code certificate
 //	simlint -ignores                   # inventory all //simlint:ignore directives
 //	go vet -vettool=$(which simlint) ./...   # unit-checker protocol
@@ -18,11 +19,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -45,6 +48,7 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	certify := fs.Bool("certify", false, "emit the concurrency code certificate for ./internal/... and exit 0 iff it proves clean")
 	ignores := fs.Bool("ignores", false, "list every //simlint:ignore directive in the module; exit 1 on bare or reasonless ones")
+	jsonOut := fs.Bool("json", false, "emit findings as a sorted JSON array instead of text (same exit codes)")
 	version := fs.Bool("V", false, "print version and exit (go vet tool-ID handshake)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [-enable names] [packages]\n\n")
@@ -148,13 +152,53 @@ func run(args []string) int {
 	for i := range all {
 		all[i].Position.Filename = relPath(wd, all[i].Position.Filename)
 	}
-	for _, f := range all {
-		fmt.Printf("%s\n", f)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, all); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			fmt.Printf("%s\n", f)
+		}
 	}
 	if len(all) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable diagnostic record: deterministic
+// field order, working-directory-relative slash paths, sorted by the
+// same comparator as the text output, so CI can archive and diff it.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders the findings (already sorted, deduplicated and
+// relativized) as an indented JSON array with a trailing newline — `[]`,
+// never `null`, when clean.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // runCertify builds the concurrency code certificate, prints it to

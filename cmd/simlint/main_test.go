@@ -1,0 +1,47 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := writeJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	// An empty run must be `[]`, not `null`: consumers parse an array.
+	if b.String() != "[]\n" {
+		t.Fatalf("writeJSON(nil) = %q, want \"[]\\n\"", b.String())
+	}
+}
+
+func TestWriteJSONFields(t *testing.T) {
+	var b strings.Builder
+	err := writeJSON(&b, []analysis.Finding{{
+		Analyzer: "nondet",
+		Position: token.Position{Filename: "internal/sim/sim.go", Line: 7, Column: 3},
+		Message:  "global math/rand",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`"file": "internal/sim/sim.go"`,
+		`"line": 7`,
+		`"col": 3`,
+		`"analyzer": "nondet"`,
+		`"message": "global math/rand"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %s:\n%s", want, got)
+		}
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Error("output does not end in newline")
+	}
+}

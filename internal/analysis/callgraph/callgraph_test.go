@@ -119,3 +119,92 @@ func TestTransitive(t *testing.T) {
 		t.Error("b transitively reaches (*T).m, want unreachable")
 	}
 }
+
+// edgeSrc exercises the resolution boundary: what StaticCallee resolves
+// (direct calls, deferred calls, immediately invoked literals) and what
+// it deliberately does not (method values, function-typed struct fields,
+// function parameters). The unresolved cases fold as effect-free in the
+// analyzers built on this graph — goleak's fixture documents the flip
+// side, where an unresolvable SPAWN is a loud finding.
+const edgeSrc = `package q
+
+type T struct{ n int }
+
+func (t *T) m() { t.n++ }
+
+type holder struct{ fn func() }
+
+func target() {}
+
+func deferred() {
+	defer target()
+}
+
+func methodValue(t *T) {
+	mv := t.m
+	mv()
+}
+
+func throughField(h *holder) {
+	h.fn()
+}
+
+func param(fn func()) {
+	fn()
+}
+
+func iife() {
+	func() { target() }()
+}
+`
+
+func buildSrc(t *testing.T, src string) *callgraph.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "q.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("q", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return callgraph.Build(info, []*ast.File{file})
+}
+
+func TestEdgeResolutionBoundary(t *testing.T) {
+	g := buildSrc(t, edgeSrc)
+	cases := map[string][]string{
+		// A deferred call resolves exactly like a direct one.
+		"deferred": {"target"},
+		// A method value is a func value by the time it is invoked: no
+		// edge (and no edge from building the value either).
+		"methodValue": nil,
+		// A call through a function-typed struct field never resolves.
+		"throughField": nil,
+		// Nor does a call through a function parameter.
+		"param": nil,
+		// An immediately invoked literal resolves to the literal node
+		// (the nested-literal link and the call edge deduplicate).
+		"iife": {"iife$1"},
+	}
+	for caller, want := range cases {
+		got := names(find(t, g, caller).Callees)
+		if len(got) != len(want) {
+			t.Errorf("%s callees = %v, want %v", caller, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s callees = %v, want %v", caller, got, want)
+				break
+			}
+		}
+	}
+}

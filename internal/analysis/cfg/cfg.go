@@ -270,30 +270,39 @@ func (b *builder) stmt(s ast.Stmt) {
 		lb := b.labelBlock(s.Label.Name)
 		b.jump(lb)
 		b.startBlock(lb)
-		b.nextLabel = s.Label.Name
+		// The label binds break/continue only when it labels a loop,
+		// switch or select; propagating it into any other statement would
+		// let a loop nested inside (e.g. `L: if ... { for {...} }`) steal
+		// it. goto targets resolve through labelBlock regardless.
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.nextLabel = s.Label.Name
+		}
 		b.stmt(s.Stmt)
 		b.nextLabel = ""
 
 	case *ast.BranchStmt:
 		switch s.Tok {
 		case token.BREAK:
-			if t := b.findScope(s.Label, false); t != nil {
-				b.jump(t)
-			}
+			b.jump(b.mustFindScope(s, false))
 			b.cur = nil
 		case token.CONTINUE:
-			if t := b.findScope(s.Label, true); t != nil {
-				b.jump(t)
-			}
+			b.jump(b.mustFindScope(s, true))
 			b.cur = nil
 		case token.GOTO:
 			b.jump(b.labelBlock(s.Label.Name))
 			b.cur = nil
 		case token.FALLTHROUGH:
-			if b.fallTarget != nil {
-				b.jump(b.fallTarget)
+			if b.fallTarget == nil {
+				// Only legal as the final statement of a non-last
+				// expression-switch clause, where caseSwitch always set the
+				// target; anything else is not type-checked Go.
+				panic("cfg: fallthrough outside a switch clause with a successor")
 			}
+			b.jump(b.fallTarget)
 			b.cur = nil
+		default:
+			panic(fmt.Sprintf("cfg: unmodelled branch token %v", s.Tok))
 		}
 
 	case *ast.ReturnStmt:
@@ -315,10 +324,31 @@ func (b *builder) stmt(s ast.Stmt) {
 	case *ast.EmptyStmt:
 		// nothing
 
-	default:
-		// Go, Send, Assign, IncDec, Decl, ...: straight-line nodes.
+	case *ast.GoStmt, *ast.SendStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt:
+		// Straight-line nodes: no intra-procedural control flow (a go
+		// statement transfers control to another goroutine, not this CFG).
 		b.add(s)
+
+	default:
+		// Every statement kind the language defines is enumerated above;
+		// reaching here means go/ast grew a node this builder does not
+		// model (or a *ast.BadStmt survived into a type-checked tree).
+		// Failing loud beats silently dropping control flow: the
+		// concurrency analyzers' soundness leans on these graphs.
+		panic(fmt.Sprintf("cfg: unmodelled statement type %T", s))
 	}
+}
+
+// mustFindScope resolves a break (wantCont=false) or continue
+// (wantCont=true) target and panics when none exists: in a type-checked
+// function every break/continue has an enclosing (or labeled) loop,
+// switch or select, so a miss means the builder's scope tracking is
+// broken — fail loud rather than silently dropping the edge.
+func (b *builder) mustFindScope(s *ast.BranchStmt, wantCont bool) *Block {
+	if t := b.findScope(s.Label, wantCont); t != nil {
+		return t
+	}
+	panic(fmt.Sprintf("cfg: unresolved %v statement at label %v", s.Tok, s.Label))
 }
 
 // caseSwitch builds switch and type-switch statements. tag/assign is the

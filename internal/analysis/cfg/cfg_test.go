@@ -111,6 +111,92 @@ func TestDefersCollected(t *testing.T) {
 	}
 }
 
+func TestGotoForward(t *testing.T) {
+	// goto skips straight over work(): the label block is reachable, the
+	// skipped statement is not.
+	c := buildFunc(t, `start(); goto L; work(); L: hit()`)
+	if c.Reaches(marker(t, c, "start"), marker(t, c, "work")) {
+		t.Error("goto-skipped statement is reachable")
+	}
+	if !c.Reaches(marker(t, c, "start"), marker(t, c, "hit")) {
+		t.Error("goto target not reachable")
+	}
+}
+
+func TestGotoBackwardLoop(t *testing.T) {
+	// A backward goto forms a loop: the builder must terminate and the
+	// loop body must reach itself through the back edge.
+	c := buildFunc(t, `L: work(); if b { goto L }; hit()`)
+	w := marker(t, c, "work")
+	if !c.Reaches(w, w) {
+		t.Error("backward goto: loop body does not reach itself")
+	}
+	if !c.EveryPathHits(marker(t, c, "work"), isHit) {
+		t.Error("every exit from the goto loop passes hit, want covered")
+	}
+}
+
+func TestFallthrough(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"case chain", `switch n { case 1: start(); fallthrough; case 2: hit(); default: work() }`},
+		{"default not last", `switch n { default: start(); fallthrough; case 2: hit() }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := buildFunc(t, tc.body)
+			if !c.Reaches(marker(t, c, "start"), marker(t, c, "hit")) {
+				t.Errorf("fallthrough edge missing\nbody: %s", tc.body)
+			}
+			if !c.EveryPathHits(marker(t, c, "start"), isHit) {
+				t.Errorf("fallthrough path does not guarantee the next clause\nbody: %s", tc.body)
+			}
+		})
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	// break L must exit BOTH loops: if it bound to the inner loop, the
+	// outer for{} would never terminate and hit() would be unreachable.
+	c := buildFunc(t, `L: for { for { if b { break L }; work() } }; hit()`)
+	if !c.Reaches(marker(t, c, "work"), marker(t, c, "hit")) {
+		t.Error("labeled break does not exit the outer loop")
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	// continue L re-enters the OUTER loop head (which can exit); bound to
+	// the inner for{} it would spin forever and hit() stays unreachable.
+	c := buildFunc(t, `start(); L: for i := 0; i < n; i++ { for { continue L } }; hit()`)
+	if !c.Reaches(marker(t, c, "start"), marker(t, c, "hit")) {
+		t.Error("labeled continue does not target the outer loop")
+	}
+}
+
+func TestLabelNotStolenByNestedLoop(t *testing.T) {
+	// A label on a non-loop statement must not bind to a loop nested
+	// inside it: `break L` under `L: if` is not legal Go, so the builder
+	// fails loud instead of silently wiring a wrong edge. (These tests
+	// parse without type checking, so the invalid input is constructible.)
+	defer func() {
+		if recover() == nil {
+			t.Error("break to a non-loop label built a CFG, want panic")
+		}
+	}()
+	buildFunc(t, `L: if b { for { break L } }; hit()`)
+}
+
+func TestUnmodelledStmtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BadStmt built a CFG, want panic")
+		}
+	}()
+	cfg.New(&ast.BlockStmt{List: []ast.Stmt{&ast.BadStmt{}}})
+}
+
 func TestExitTerminal(t *testing.T) {
 	c := buildFunc(t, `if b { return }; work()`)
 	if len(c.Exit.Succs) != 0 {

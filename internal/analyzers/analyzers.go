@@ -7,7 +7,9 @@ package analyzers
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analyzers/blockcheck"
 	"repro/internal/analyzers/chanclose"
+	"repro/internal/analyzers/chanwait"
 	"repro/internal/analyzers/goleak"
 	"repro/internal/analyzers/lockorder"
 	"repro/internal/analyzers/maporder"
@@ -19,10 +21,12 @@ import (
 
 // All returns the full suite in stable order: the determinism-contract
 // analyzers of PR 2 plus the concurrency-deadlock analyzers backing the
-// code certificate (lockorder, goleak, chanclose).
+// code certificate (lockorder, goleak, chanclose, chanwait, blockcheck).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		blockcheck.Analyzer,
 		chanclose.Analyzer,
+		chanwait.Analyzer,
 		goleak.Analyzer,
 		lockorder.Analyzer,
 		maporder.Analyzer,
@@ -37,7 +41,9 @@ func All() []*analysis.Analyzer {
 // `simlint -certify` runs over internal/... .
 func Concurrency() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		blockcheck.Analyzer,
 		chanclose.Analyzer,
+		chanwait.Analyzer,
 		goleak.Analyzer,
 		lockorder.Analyzer,
 	}

@@ -1,0 +1,17 @@
+package blockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/blockcheck"
+)
+
+func TestBlockcheckFixture(t *testing.T) {
+	findings := analysistest.Run(t, blockcheck.Analyzer, analysistest.TestData(t), "blockcheck")
+	// Regression guard: the fixture holds one indefinite and one bounded
+	// hot-path violation.
+	if len(findings) < 2 {
+		t.Fatalf("blockcheck reported %d findings on the bad fixture, want >= 2", len(findings))
+	}
+}

@@ -1,0 +1,18 @@
+package chanwait_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/chanwait"
+)
+
+func TestChanwaitFixture(t *testing.T) {
+	findings := analysistest.Run(t, chanwait.Analyzer, analysistest.TestData(t), "chanwait")
+	// Regression guard: an analyzer that silently stops reporting would
+	// otherwise pass a fixture with no want comments left. The fixture
+	// holds four deliberate cycles of two edges each.
+	if len(findings) < 8 {
+		t.Fatalf("chanwait reported %d findings on the bad fixture, want >= 8", len(findings))
+	}
+}

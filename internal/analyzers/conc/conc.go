@@ -416,6 +416,293 @@ func SpawnTarget(info *types.Info, g *callgraph.Graph, gs *ast.GoStmt) (*ast.Blo
 	return body, mapParam, true
 }
 
+// Op is one synchronization operation found by OpsIn — the shared
+// vocabulary of the chanwait and blockcheck analyzers. Kind is one of
+// "send", "recv", "range", "wait" (WaitGroup.Wait), "close", "done"
+// (WaitGroup.Done), "select" (a whole multi-arm select with no default),
+// "lock" (Mutex Lock/RLock) or "sleep" (time.Sleep). Obj identifies the
+// channel / WaitGroup / mutex operated on (nil for "select", "sleep",
+// and operands with no static base object).
+//
+// Blocking marks ops that can suspend the executing goroutine right
+// here: sends, receives, ranges, Waits, multi-arm selects, locks and
+// sleeps — except comm operations inside a select, where the select
+// itself carries the blocking (an arm is one alternative, the CDG
+// analogue of an adaptive route: any arm may fire, so no single arm is a
+// hold-and-wait point) and a select with a default never blocks at all.
+// Non-blocking ops (close, Done, select-exempt comms) still matter to
+// chanwait as the providing side of a rendezvous.
+type Op struct {
+	Kind     string
+	Obj      types.Object
+	Pos      token.Pos
+	Blocking bool
+}
+
+// SelectInfo classifies the comm statements of every select in the
+// shallow subtree: Exempt holds comms of selects with a default clause
+// (never block), Arm holds comms of multi-arm selects without a default
+// (alternatives, not individual wait points). A single-arm select
+// without default is equivalent to its bare operation and marks nothing.
+type SelectInfo struct {
+	Exempt map[ast.Stmt]bool
+	Arm    map[ast.Stmt]bool
+}
+
+// CollectSelectInfo builds the SelectInfo of one function body (shallow:
+// nested literals classify their own selects).
+func CollectSelectInfo(body ast.Node) SelectInfo {
+	si := SelectInfo{Exempt: map[ast.Stmt]bool{}, Arm: map[ast.Stmt]bool{}}
+	if body == nil {
+		return si
+	}
+	Shallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		var comms []ast.Stmt
+		for _, cs := range sel.Body.List {
+			cc := cs.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+				continue
+			}
+			comms = append(comms, cc.Comm)
+		}
+		for _, comm := range comms {
+			switch {
+			case hasDefault:
+				si.Exempt[comm] = true
+			case len(comms) > 1:
+				si.Arm[comm] = true
+			}
+		}
+		return true
+	})
+	return si
+}
+
+// OpsIn collects the synchronization operations of the shallow subtree
+// of n, in evaluation order: source order, except that a send's operand
+// ops precede the send op itself (`c2 <- <-c1` receives before it
+// sends). go statements are skipped entirely: spawning never blocks the
+// spawner, and the spawned body is another function's ops (argument
+// expressions of a go call are rare enough to ignore, documented in the
+// chanwait package comment). Defer statements are NOT treated specially
+// here — callers that need exit-time semantics (chanwait) collect defers
+// separately.
+func OpsIn(info *types.Info, n ast.Node, si SelectInfo) []Op {
+	var ops []Op
+	if n == nil {
+		return ops
+	}
+	if rh, ok := n.(*cfg.RangeHead); ok {
+		if chanRange(info, rh.Range) {
+			ops = append(ops, Op{Kind: "range", Obj: BaseObj(info, rh.Range.X), Pos: rh.Range.Pos(), Blocking: true})
+		}
+		n = rh.Range.X // fall through: the operand may hold nested ops
+	}
+	Shallow(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			blocking := true
+			nComms := 0
+			for _, cs := range x.Body.List {
+				if cs.(*ast.CommClause).Comm == nil {
+					blocking = false // default clause: never blocks
+				} else {
+					nComms++
+				}
+			}
+			// The synthetic op represents the whole select for selects
+			// whose comms are Arm-classified (and the block-forever
+			// select{}); a single-arm select is just its bare comm op.
+			if blocking && nComms != 1 {
+				ops = append(ops, Op{Kind: "select", Pos: x.Pos(), Blocking: true})
+			}
+			return true
+		case *ast.SendStmt:
+			// Operands evaluate before the send commits.
+			ops = append(ops, OpsIn(info, x.Chan, si)...)
+			ops = append(ops, OpsIn(info, x.Value, si)...)
+			ops = append(ops, Op{Kind: "send", Obj: BaseObj(info, x.Chan), Pos: x.Pos(),
+				Blocking: commBlocking(x, si)})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ops = append(ops, Op{Kind: "recv", Obj: BaseObj(info, x.X), Pos: x.Pos(),
+					Blocking: recvBlocking(info, x, si)})
+			}
+			return true
+		case *ast.RangeStmt:
+			if chanRange(info, x) {
+				ops = append(ops, Op{Kind: "range", Obj: BaseObj(info, x.X), Pos: x.Pos(), Blocking: true})
+			}
+			return true
+		case *ast.CallExpr:
+			if obj, m, ok := WaitGroupCall(info, x); ok {
+				switch m {
+				case "Wait":
+					ops = append(ops, Op{Kind: "wait", Obj: obj, Pos: x.Pos(), Blocking: true})
+				case "Done":
+					ops = append(ops, Op{Kind: "done", Obj: obj, Pos: x.Pos()})
+				}
+				return true
+			}
+			if obj, m, ok := LockCall(info, x); ok {
+				if m == "Lock" || m == "RLock" {
+					ops = append(ops, Op{Kind: "lock", Obj: obj, Pos: x.Pos(), Blocking: true})
+				}
+				return true
+			}
+			if call, ok := BuiltinCall(info, x, "close"); ok && len(call.Args) == 1 {
+				ops = append(ops, Op{Kind: "close", Obj: BaseObj(info, call.Args[0]), Pos: x.Pos()})
+				return true
+			}
+			if path, name, ok := pkgCall(info, x); ok && path == "time" && name == "Sleep" {
+				ops = append(ops, Op{Kind: "sleep", Pos: x.Pos(), Blocking: true})
+			}
+			return true
+		}
+		return true
+	})
+	return ops
+}
+
+// commBlocking: a send blocks unless it is a select arm or under a
+// select with default.
+func commBlocking(s ast.Stmt, si SelectInfo) bool {
+	return !si.Exempt[s] && !si.Arm[s]
+}
+
+// recvBlocking resolves the comm statement a receive expression sits in
+// (`case <-ch:` is an ExprStmt comm, `case v := <-ch:` an AssignStmt)
+// and applies the same select rules. A receive whose enclosing statement
+// is not in either set blocks.
+func recvBlocking(info *types.Info, recv *ast.UnaryExpr, si SelectInfo) bool {
+	for comm := range si.Exempt {
+		if containsNode(comm, recv) {
+			return false
+		}
+	}
+	for comm := range si.Arm {
+		if containsNode(comm, recv) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(x ast.Node) bool {
+		if x == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func chanRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// pkgCall is astq.PkgCall inlined to avoid an import cycle risk; it
+// resolves pkg.Func(...) through import aliases.
+func pkgCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// ChanCaps scans the files for channel make sites assigned to a named
+// object — `ch := make(chan T, n)`, `x.f = make(chan T)`, var form —
+// and returns each object's constant buffer capacity: 0 for the
+// single-argument form (unbuffered), the constant for the two-argument
+// form, -1 (unknown) when the capacity is not a compile-time constant.
+// The first make site in source order wins for an object made twice.
+func ChanCaps(info *types.Info, files []*ast.File) map[types.Object]int {
+	caps := map[types.Object]int{}
+	record := func(lhs, rhs ast.Expr) {
+		obj := BaseObj(info, lhs)
+		if obj == nil {
+			return
+		}
+		if _, seen := caps[obj]; seen {
+			return
+		}
+		if c, ok := MakeChanCap(info, rhs); ok {
+			caps[obj] = c
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					rhs := x.Rhs[0]
+					if len(x.Rhs) == len(x.Lhs) {
+						rhs = x.Rhs[i]
+					}
+					record(lhs, rhs)
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) {
+						record(name, x.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return caps
+}
+
+// MakeChanCap recognizes a make(chan T[, n]) expression: ok reports the
+// match, cap is 0 (unbuffered), the constant capacity, or -1 when the
+// capacity expression is not constant.
+func MakeChanCap(info *types.Info, e ast.Expr) (int, bool) {
+	call, ok := BuiltinCall(info, ast.Unparen(e), "make")
+	if !ok || len(call.Args) == 0 {
+		return 0, false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return 0, false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return 0, true
+	}
+	if c := ConstCap(info, e); c >= 0 {
+		return c, true
+	}
+	return -1, true
+}
+
 // BufferCap looks for `obj := make(chan T, n)` (or = / var form) in the
 // shallow body and returns the constant capacity, or -1.
 func BufferCap(info *types.Info, body ast.Node, obj types.Object) int {

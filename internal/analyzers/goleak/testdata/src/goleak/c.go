@@ -1,0 +1,27 @@
+// Third fixture file: spawn shapes the call graph cannot resolve — a
+// method value, a function-typed struct field, and a function parameter.
+// Each fails loud: a join obligation that cannot be verified is a
+// finding, never a silent pass (the conservative-quiet choice applies to
+// effects folded into callers, not to spawn audits).
+package goleak
+
+type runner struct{ fn func() }
+
+func (r *runner) work() {}
+
+// spawnMethodValue spawns through a method value: by the spawn site the
+// callee is a plain func value, so the target does not resolve.
+func spawnMethodValue(r *runner) {
+	mv := r.work
+	go mv() // want `spawned function is not statically resolvable`
+}
+
+// spawnFieldFunc spawns through a function-typed struct field.
+func spawnFieldFunc(r *runner) {
+	go r.fn() // want `spawned function is not statically resolvable`
+}
+
+// spawnParam spawns a function passed in as a parameter.
+func spawnParam(fn func()) {
+	go fn() // want `spawned function is not statically resolvable`
+}

@@ -277,7 +277,7 @@ func (a *scanner) reportCycles(res Result) {
 	// Re-find each edge's position for reporting.
 	for _, e := range res.Edges {
 		u, v := index[e.From], index[e.To]
-		cycle, ok := cycleThrough(dg, u, v)
+		cycle, ok := dg.CycleThrough(u, v)
 		if !ok {
 			continue
 		}
@@ -327,49 +327,6 @@ func BuildGraph(locks []string, edges []Edge) (*graph.Digraph, map[string]int) {
 		dg.AddEdge(u, v)
 	}
 	return dg, index
-}
-
-// cycleThrough returns a minimal cycle containing the edge u->v: the
-// edge plus a shortest path v->u, as vertex list starting at u. ok is
-// false when v cannot reach u (the edge is in no cycle).
-func cycleThrough(dg *graph.Digraph, u, v int) ([]int, bool) {
-	if u == v {
-		return []int{u}, dg.HasEdge(u, v)
-	}
-	if !dg.HasEdge(u, v) {
-		return nil, false
-	}
-	// BFS shortest path v -> u.
-	parent := make([]int, dg.N())
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[v] = v
-	queue := []int{v}
-	for len(queue) > 0 {
-		w := queue[0]
-		queue = queue[1:]
-		if w == u {
-			path := []int{u}
-			for x := u; x != v; x = parent[x] {
-				path = append(path, parent[x])
-			}
-			// path is u, ..., v reversed; rebuild as u -> v -> ... path
-			// order u then the v->...->u chain reversed gives cycle order.
-			rev := make([]int, 0, len(path))
-			for i := len(path) - 1; i >= 0; i-- {
-				rev = append(rev, path[i])
-			}
-			return rev, true
-		}
-		for _, x := range dg.Out(w) {
-			if parent[x] == -1 {
-				parent[x] = w
-				queue = append(queue, x)
-			}
-		}
-	}
-	return nil, false
 }
 
 func copySet(s map[types.Object]bool) map[types.Object]bool {

@@ -17,7 +17,7 @@ type server struct {
 func (s *server) ab() {
 	s.a.Lock()
 	defer s.a.Unlock()
-	s.b.Lock() // want `lock-order cycle: lockorder.server.b -> lockorder.server.a -> lockorder.server.b`
+	s.b.Lock() // want `lock-order cycle: lockorder.server.a -> lockorder.server.b -> lockorder.server.a`
 	defer s.b.Unlock()
 }
 

@@ -6,7 +6,7 @@ package lockorder
 func (s *server) ba() {
 	s.b.Lock()
 	defer s.b.Unlock()
-	s.lockA() // want `lock-order cycle: lockorder.server.a -> lockorder.server.b -> lockorder.server.a`
+	s.lockA() // want `lock-order cycle: lockorder.server.b -> lockorder.server.a -> lockorder.server.b`
 }
 
 func (s *server) lockA() {

@@ -85,3 +85,52 @@ func (g *Digraph) ShortestCycle() (cycle []int, ok bool) {
 	}
 	return best, best != nil
 }
+
+// CycleThrough returns a minimal cycle containing the edge u -> v: the
+// edge plus a shortest path v -> u, as a vertex list starting at u. ok
+// is false when the edge does not exist or v cannot reach u (the edge is
+// in no cycle). The per-edge companion to ShortestCycle: verifiers use
+// it to attribute a cyclic graph's failure to each participating edge's
+// source site.
+func (g *Digraph) CycleThrough(u, v int) ([]int, bool) {
+	if !g.HasEdge(u, v) {
+		return nil, false
+	}
+	if u == v {
+		return []int{u}, true
+	}
+	// BFS shortest path v -> u.
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[v] = v
+	queue := []int{v}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if w == u {
+			path := []int{u}
+			for x := u; x != v; x = parent[x] {
+				path = append(path, parent[x])
+			}
+			// path is u, u's predecessor, ..., v following parents back
+			// toward v; the cycle order starting at u follows the edge
+			// u -> v and then the BFS path forward: u, v, ..., u's
+			// predecessor.
+			cycle := make([]int, 0, len(path))
+			cycle = append(cycle, u)
+			for i := len(path) - 1; i >= 1; i-- {
+				cycle = append(cycle, path[i])
+			}
+			return cycle, true
+		}
+		for _, x := range g.Out(w) {
+			if parent[x] == -1 {
+				parent[x] = w
+				queue = append(queue, x)
+			}
+		}
+	}
+	return nil, false
+}

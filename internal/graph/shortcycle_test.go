@@ -59,3 +59,24 @@ func TestShortestCycleDeterministicStart(t *testing.T) {
 		t.Fatalf("ShortestCycle = %v, %v; want [1 2 3], true", cycle, ok)
 	}
 }
+
+func TestCycleThroughOrientation(t *testing.T) {
+	// 0->1->2->0 plus a dead-end edge 2->3. The cycle through an edge
+	// starts at the edge's source and follows it: CycleThrough(1, 2) is
+	// [1 2 0], not a rotation starting elsewhere.
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	cycle, ok := g.CycleThrough(1, 2)
+	if !ok || !reflect.DeepEqual(cycle, []int{1, 2, 0}) {
+		t.Fatalf("CycleThrough(1,2) = %v, %v; want [1 2 0], true", cycle, ok)
+	}
+	if _, ok := g.CycleThrough(2, 3); ok {
+		t.Fatal("edge 2->3 is in no cycle, want ok=false")
+	}
+	if _, ok := g.CycleThrough(0, 2); ok {
+		t.Fatal("0->2 is not an edge, want ok=false")
+	}
+}

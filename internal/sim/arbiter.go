@@ -42,6 +42,8 @@ type move struct {
 // non-empty buffers, records the earliest future InjectCycle among blocked
 // queue fronts (for idle-cycle fast-forwarding), and allocates nothing on
 // the steady-state path.
+//
+//simlint:hotpath
 func (s *Simulator) planMoves(now int) []move {
 	moves := s.moves[:0]
 	v := s.cfg.VirtualChannels
@@ -158,6 +160,8 @@ func (s *Simulator) planMoves(now int) []move {
 // grant emission order is canonical, and advances each port's round-robin
 // pointer. Shared by the sequential and sharded planners: the slots are
 // filled identically, so the grants are too.
+//
+//simlint:hotpath
 func (s *Simulator) emitGrants(moves []move) []move {
 	slices.Sort(s.arbTouched)
 	for _, port := range s.arbTouched {

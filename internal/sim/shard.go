@@ -109,6 +109,8 @@ func guard(fn func()) (pv any) {
 // when the panic propagates, so a recovering caller can still Close the
 // simulator and leak nothing. When several shards panic in one dispatch the
 // lowest shard index wins, keeping even the failure deterministic.
+//
+//simlint:barrier
 func (p *shardPool) run(fn func(shard int)) {
 	for i := 1; i < p.n; i++ {
 		shard := i
@@ -170,6 +172,8 @@ func (s *Simulator) ShardedCycles() int { return s.shardedCycles }
 // configured and there is enough live work to amortize two barriers, the
 // sequential one otherwise. Both produce identical moves and identical
 // side effects, so the choice can never surface in a Result.
+//
+//simlint:hotpath
 func (s *Simulator) plan(now int) []move {
 	if s.cfg.Shards > 1 &&
 		(len(s.activeBufs) >= shardWorkMin || len(s.queues) >= shardNodeMin) {
@@ -180,7 +184,10 @@ func (s *Simulator) plan(now int) []move {
 
 // planMovesSharded is planMoves run over the shard pool: same inputs, same
 // outputs, same side effects, computed by the four phases described in the
-// file comment.
+// file comment. The only wait it is allowed is the pool barrier itself —
+// blockcheck proves nothing else on this path can park the goroutine.
+//
+//simlint:hotpath
 func (s *Simulator) planMovesSharded(now int) []move {
 	s.ensurePool()
 	s.shardedCycles++
