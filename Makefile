@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency vet-conc codecert certify verify-fabric chaos-smoke
+.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency vet-conc codecert certify verify-fabric chaos-smoke serve-smoke
 
 all: build test
 
@@ -72,6 +72,7 @@ check: lint lint-concurrency vet-conc codecert certify verify-fabric
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) serve-smoke
 
 # chaos-smoke runs a small deterministic fault-recovery campaign on the
 # dual fractahedron pair (link kill + link flap + router kill per trial)
@@ -80,6 +81,18 @@ check: lint lint-concurrency vet-conc codecert certify verify-fabric
 chaos-smoke:
 	mkdir -p bin
 	$(GO) run ./cmd/chaos -trials 2 -packets 200 -flits 3 -seed 2 -json bin/chaos-smoke.json
+
+# serve-smoke exercises the campaign server end to end with real
+# processes: run a sweep to completion, run it again elsewhere and
+# SIGKILL the server mid-campaign, restart on the same checkpoint/cache
+# dirs, and require the resumed artifact byte-identical to the
+# uninterrupted one; then prove a repeat submission is fully
+# cache-served (computed-points counter flat, cache hits up). Server
+# logs and the final /statusz land in bin/serve-smoke for CI to archive.
+serve-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/campaignd ./cmd/campaignd
+	$(GO) run ./cmd/servesmoke -bin bin/campaignd -dir bin/serve-smoke
 
 race:
 	$(GO) test -race ./...

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 )
@@ -32,6 +33,16 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shard count per trial (<= 1 = sequential); results are identical for any value")
 	jsonPath := flag.String("json", "", "write the campaign JSON to this path (\"-\" for stdout)")
 	flag.Parse()
+
+	if err := cliutil.First(
+		cliutil.Positive("trials", *trials),
+		cliutil.Positive("packets", *packets),
+		cliutil.Positive("flits", *flits),
+		cliutil.NonNegative("workers", *workers),
+		cliutil.NonNegative("shards", *shards),
+	); err != nil {
+		cliutil.Fail("chaos", err)
+	}
 
 	stats := runner.NewStats()
 	cr, err := experiments.ChaosRecovery(*trials, *packets, *flits, *seed,

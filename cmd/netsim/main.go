@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/router"
 	"repro/internal/runner"
@@ -52,6 +53,17 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for -runs fan-out (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "engine shard count per run (<= 1 = sequential); results are identical for any value")
 	flag.Parse()
+
+	if err := cliutil.First(
+		cliutil.Positive("runs", *runs),
+		cliutil.NonNegative("workers", *workers),
+		cliutil.NonNegative("shards", *shards),
+		cliutil.Positive("flits", *flits),
+		cliutil.Positive("fifo", *fifo),
+		cliutil.Positive("vc", *vcs),
+	); err != nil {
+		cliutil.Fail("netsim", err)
+	}
 
 	sys, name, err := core.ParseSystem(*spec)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 )
@@ -28,6 +29,14 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS); results are identical for any value")
 	shards := flag.Int("shards", 0, "engine shard count per simulation (<= 1 = sequential); results are identical for any value")
 	flag.Parse()
+
+	if err := cliutil.First(
+		cliutil.Positive("levels", *levels),
+		cliutil.NonNegative("workers", *workers),
+		cliutil.NonNegative("shards", *shards),
+	); err != nil {
+		cliutil.Fail("paper", err)
+	}
 
 	stats := runner.NewStats()
 	opts := []runner.Option{runner.Workers(*workers), runner.Shards(*shards), runner.WithStats(stats)}

@@ -1,0 +1,29 @@
+package codecert
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+)
+
+// golden is the committed certificate fixture — the byte-compared,
+// CI-enforced snapshot of the concurrency proof over the engine's own
+// code. It is embedded so the running binary can name the exact engine
+// it is: any change to the analyzed tree that alters the certificate
+// forces a golden regeneration, which changes the revision.
+//
+//go:embed testdata/codecert.golden.json
+var golden []byte
+
+// Golden returns the embedded certificate fixture bytes.
+func Golden() []byte { return golden }
+
+// Revision is the engine revision: the hex SHA-256 of the committed
+// certificate golden. The campaign server folds it into every artifact
+// cache key, so cached results can never be served across an engine
+// whose concurrency certificate — and therefore whose analyzed code —
+// has changed.
+func Revision() string {
+	sum := sha256.Sum256(golden)
+	return hex.EncodeToString(sum[:])
+}

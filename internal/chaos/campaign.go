@@ -48,6 +48,29 @@ type CampaignResult struct {
 	Deadlocked       int // fabrics that froze in a deadlock, across trials
 }
 
+// Trial runs one campaign trial: derive the trial's RNG stream from
+// (spec.Seed, trial), draw its fault plan and workload, and execute the
+// lock-step recovery engine. A trial depends only on (spec, trial) — never
+// on which worker ran it — which is what lets the campaign server compute,
+// checkpoint and resume trials individually while staying byte-identical
+// to an uninterrupted campaign.
+func Trial(spec CampaignSpec, trial int) (TrialResult, error) {
+	// One stream per trial, consumed in a fixed order: plan first, then
+	// workload. The build only feeds plan generation the network shape.
+	rng := runner.RNG(spec.Seed, trial)
+	net, _ := spec.Engine.Build()
+	plan, err := GeneratePlan(rng, net, spec.Plan)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	specs := workload.UniformRandom(rng, net.NumNodes(), spec.Packets, spec.Flits, spec.Window)
+	res, err := Run(spec.Engine, plan, specs)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return TrialResult{Trial: trial, Plan: plan, Result: res}, nil
+}
+
 // Campaign runs spec.Trials independent recovery trials over the worker
 // pool and merges them in trial order.
 func Campaign(spec CampaignSpec, rcfg runner.Config) (*CampaignResult, error) {
@@ -57,21 +80,13 @@ func Campaign(spec CampaignSpec, rcfg runner.Config) (*CampaignResult, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("chaos: campaign needs a positive trial count, got %d", spec.Trials)
 	}
+	// Surface a nonsensical engine configuration once, before fanning out,
+	// instead of from every trial.
+	if _, err := spec.Engine.withDefaults(); err != nil {
+		return nil, err
+	}
 	trials, err := runner.Map(rcfg, spec.Trials, func(trial int) (TrialResult, error) {
-		// One stream per trial, consumed in a fixed order: plan first, then
-		// workload. The build only feeds plan generation the network shape.
-		rng := runner.RNG(spec.Seed, trial)
-		net, _ := spec.Engine.Build()
-		plan, err := GeneratePlan(rng, net, spec.Plan)
-		if err != nil {
-			return TrialResult{}, err
-		}
-		specs := workload.UniformRandom(rng, net.NumNodes(), spec.Packets, spec.Flits, spec.Window)
-		res, err := Run(spec.Engine, plan, specs)
-		if err != nil {
-			return TrialResult{}, err
-		}
-		return TrialResult{Trial: trial, Plan: plan, Result: res}, nil
+		return Trial(spec, trial)
 	})
 	if err != nil {
 		return nil, err

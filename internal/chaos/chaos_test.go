@@ -3,6 +3,7 @@ package chaos_test
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/chaos"
@@ -259,5 +260,68 @@ func TestCampaignShardDeterminism(t *testing.T) {
 			t.Fatalf("campaign JSON differs at workers=%d shards=%d:\n%s\n---\n%s",
 				combo.workers, combo.shards, got, want)
 		}
+	}
+}
+
+// TestBackoffConfigValidation pins the config-fold bugfix: a BackoffCap
+// below BackoffBase used to be silently ignored from the very first
+// re-issue (base<<0 already exceeded the cap); the fold now rejects it,
+// along with negative retry/backoff knobs, while zero still means the
+// documented defaults.
+func TestBackoffConfigValidation(t *testing.T) {
+	net, _ := buildFract2()
+	rng := runner.RNG(11, 0)
+	plan, err := chaos.GeneratePlan(rng, net, chaos.PlanSpec{LinkKills: 1, Window: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := workload.UniformRandom(rng, net.NumNodes(), 20, 4, 20)
+
+	run := func(mut func(*chaos.Config)) error {
+		cfg := engineConfig()
+		mut(&cfg)
+		_, err := chaos.Run(cfg, plan, specs)
+		return err
+	}
+
+	bad := []struct {
+		name string
+		mut  func(*chaos.Config)
+		want string
+	}{
+		{"cap below base", func(c *chaos.Config) { c.BackoffBase = 100; c.BackoffCap = 10 }, "BackoffCap 10 is below BackoffBase 100"},
+		{"cap below default base", func(c *chaos.Config) { c.BackoffCap = 4 }, "BackoffCap 4 is below BackoffBase 8"},
+		{"negative base", func(c *chaos.Config) { c.BackoffBase = -1 }, "BackoffBase -1 is negative"},
+		{"negative cap", func(c *chaos.Config) { c.BackoffCap = -5 }, "BackoffCap -5 is negative"},
+		{"negative retries", func(c *chaos.Config) { c.MaxRetries = -2 }, "MaxRetries -2 is negative"},
+	}
+	for _, tc := range bad {
+		err := run(tc.mut)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	good := []func(*chaos.Config){
+		func(c *chaos.Config) {}, // all defaults
+		func(c *chaos.Config) { c.BackoffBase = 16; c.BackoffCap = 16 }, // cap == base is a flat schedule
+		func(c *chaos.Config) { c.BackoffBase = 2; c.BackoffCap = 64 },
+	}
+	for i, mut := range good {
+		if err := run(mut); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+
+	// Campaign surfaces the same validation before fanning out.
+	spec := chaos.CampaignSpec{
+		Trials: 1, Packets: 10, Flits: 2, Window: 20, Seed: 3,
+		Plan:   chaos.PlanSpec{LinkKills: 1, Window: 20},
+		Engine: engineConfig(),
+	}
+	spec.Engine.BackoffBase, spec.Engine.BackoffCap = 50, 5
+	if _, err := chaos.Campaign(spec, runner.Config{Workers: 2}); err == nil ||
+		!strings.Contains(err.Error(), "BackoffCap 5 is below BackoffBase 50") {
+		t.Errorf("campaign: err = %v, want cap-below-base rejection", err)
 	}
 }

@@ -50,17 +50,36 @@ type Config struct {
 	Reconfigure bool
 }
 
-func (c Config) withDefaults() Config {
-	if c.MaxRetries <= 0 {
+// withDefaults validates the retry/backoff knobs and fills the zero-value
+// defaults. Negative values and a cap below the base are rejected rather
+// than silently patched over: a BackoffCap below BackoffBase used to be
+// ignored from the very first re-issue (base<<0 already exceeds the cap,
+// so every delay clamps to the cap and the configured base never acts),
+// which made the configuration lie about the schedule it produced.
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxRetries < 0 {
+		return c, fmt.Errorf("chaos: MaxRetries %d is negative (0 means the default of 3)", c.MaxRetries)
+	}
+	if c.BackoffBase < 0 {
+		return c, fmt.Errorf("chaos: BackoffBase %d is negative (0 means the default of 8)", c.BackoffBase)
+	}
+	if c.BackoffCap < 0 {
+		return c, fmt.Errorf("chaos: BackoffCap %d is negative (0 means the default of 256)", c.BackoffCap)
+	}
+	if c.MaxRetries == 0 {
 		c.MaxRetries = 3
 	}
-	if c.BackoffBase <= 0 {
+	if c.BackoffBase == 0 {
 		c.BackoffBase = 8
 	}
-	if c.BackoffCap <= 0 {
+	if c.BackoffCap == 0 {
 		c.BackoffCap = 256
 	}
-	return c
+	if c.BackoffCap < c.BackoffBase {
+		return c, fmt.Errorf("chaos: BackoffCap %d is below BackoffBase %d; the first re-issue already exceeds the cap, so the base can never take effect",
+			c.BackoffCap, c.BackoffBase)
+	}
+	return c, nil
 }
 
 // Result summarizes one chaos recovery run.
@@ -395,7 +414,10 @@ func survivingPlan(net *topology.Network, deadSet map[topology.LinkID]bool) (top
 // retry failover until every transfer resolves (or the horizon/deadlock
 // freezes the remainder).
 func Run(cfg Config, plan Plan, specs []sim.PacketSpec) (Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
 	if cfg.Build == nil {
 		return Result{}, fmt.Errorf("chaos: Config.Build is required")
 	}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/runner"
-	"repro/internal/sim"
 )
 
 // ChaosRecovery runs a deterministic chaos campaign on the 64-node dual
@@ -21,22 +20,8 @@ import (
 // count.
 func ChaosRecovery(trials, packets, flits int, seed int64, opts ...runner.Option) (*chaos.CampaignResult, error) {
 	cfg := runner.NewConfig(opts...)
-	spec := chaos.CampaignSpec{
-		Trials:  trials,
-		Packets: packets,
-		Flits:   flits,
-		Window:  80,
-		Seed:    seed,
-		Plan: chaos.PlanSpec{
-			LinkKills: 1, LinkFlaps: 1, RouterKills: 1,
-			Window: 40, RepairAfter: 160,
-		},
-		Engine: chaos.Config{
-			Build:       dualFractahedron,
-			Sim:         sim.Config{FIFODepth: 4, TimeoutCycles: 200, MaxRetries: 1, Shards: cfg.Shards},
-			Reconfigure: true,
-		},
-	}
+	spec := ChaosRecoverySpec(trials, packets, flits, seed)
+	spec.Engine.Sim.Shards = cfg.Shards
 	var cr *chaos.CampaignResult
 	err := timedCost(cfg.Stats, "chaos recovery campaign", func() (int, int, error) {
 		var err error

@@ -1,0 +1,144 @@
+package experiments
+
+// Point-shaped campaign specs for the campaign server (internal/serve).
+// A server job must be able to compute, checkpoint and resume its points
+// individually, so these specs expose the same sweeps the batch
+// experiments run as pure point functions: Row(i) depends only on
+// (spec, i) — never on which worker ran it, or whether points before it
+// were computed in this process or restored from a checkpoint. That is
+// the whole resume story: re-running any subset of points reproduces the
+// exact bytes of an uninterrupted campaign.
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SweepSpec describes an offered-load simulation sweep as independently
+// computable points: the cross product of Specs (core.ParseSystem
+// grammar) and Rates. Point i maps to spec i%len(Specs) at rate
+// i/len(Specs), and every topology at one rate draws its workload from
+// the same (Seed, rate-index) stream — the SimSweep convention that
+// keeps curves comparable. The JSON form is the campaign server's job
+// payload and cache-key input, so field names are part of the wire
+// contract.
+type SweepSpec struct {
+	Specs     []string  `json:"specs"`
+	Rates     []float64 `json:"rates"`
+	Cycles    int       `json:"cycles"`
+	Flits     int       `json:"flits"`
+	FIFODepth int       `json:"fifo_depth"`
+	VCs       int       `json:"vcs,omitempty"`
+	Seed      int64     `json:"seed"`
+}
+
+// SweepPointRow is one point's result row, the NDJSON line the campaign
+// server streams.
+type SweepPointRow struct {
+	Spec       string  `json:"spec"`
+	Rate       float64 `json:"rate"`
+	Offered    float64 `json:"offered"`
+	Cycles     int     `json:"cycles"`
+	Delivered  int     `json:"delivered"`
+	AvgLatency float64 `json:"avg_latency"`
+	Throughput float64 `json:"throughput_fpc"`
+	Deadlocked bool    `json:"deadlocked"`
+}
+
+// Points is the campaign size: every (spec, rate) pair.
+func (s SweepSpec) Points() int { return len(s.Specs) * len(s.Rates) }
+
+// Validate rejects empty or nonsensical sweeps up front, parsing every
+// topology spec so a bad job fails at admission, not at point 17.
+func (s SweepSpec) Validate() error {
+	if len(s.Specs) == 0 {
+		return fmt.Errorf("sweep: no topology specs")
+	}
+	if len(s.Rates) == 0 {
+		return fmt.Errorf("sweep: no rates")
+	}
+	if s.Cycles < 1 {
+		return fmt.Errorf("sweep: cycles %d, need >= 1", s.Cycles)
+	}
+	if s.Flits < 1 {
+		return fmt.Errorf("sweep: flits %d, need >= 1", s.Flits)
+	}
+	if s.FIFODepth < 1 {
+		return fmt.Errorf("sweep: fifo_depth %d, need >= 1", s.FIFODepth)
+	}
+	if s.VCs < 0 {
+		return fmt.Errorf("sweep: vcs %d, need >= 0", s.VCs)
+	}
+	for _, spec := range s.Specs {
+		if _, _, err := core.ParseSystem(spec); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, r := range s.Rates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("sweep: rate %.6f outside (0, 1]", r)
+		}
+	}
+	return nil
+}
+
+// Row computes one point. Shards configures the per-point engine shard
+// count (an execution detail: it can never change the row, so it is not
+// part of the job identity).
+func (s SweepSpec) Row(point, shards int) (SweepPointRow, error) {
+	if point < 0 || point >= s.Points() {
+		return SweepPointRow{}, fmt.Errorf("sweep: point %d outside [0, %d)", point, s.Points())
+	}
+	spec := s.Specs[point%len(s.Specs)]
+	rateIdx := point / len(s.Specs)
+	rate := s.Rates[rateIdx]
+	sys, _, err := core.ParseSystem(spec)
+	if err != nil {
+		return SweepPointRow{}, err
+	}
+	rng := runner.RNG(s.Seed, rateIdx)
+	specs := workload.Bernoulli(rng, sys.Net.NumNodes(), s.Cycles, s.Flits, rate)
+	res, err := sys.Simulate(specs, sim.Config{FIFODepth: s.FIFODepth, VirtualChannels: s.VCs, Shards: shards})
+	if err != nil {
+		return SweepPointRow{}, err
+	}
+	return SweepPointRow{
+		Spec:       spec,
+		Rate:       rate,
+		Offered:    rate * float64(s.Flits),
+		Cycles:     res.Cycles,
+		Delivered:  res.Delivered,
+		AvgLatency: res.AvgLatency,
+		Throughput: res.ThroughputFPC,
+		Deadlocked: res.Deadlocked,
+	}, nil
+}
+
+// ChaosRecoverySpec is the chaos-recovery campaign configuration the
+// ChaosRecovery experiment runs, exported so the campaign server can
+// execute the same campaign trial by trial (chaos.Trial) with
+// checkpoint/resume. Equal arguments produce the exact trial stream of
+// the batch experiment.
+func ChaosRecoverySpec(trials, packets, flits int, seed int64) chaos.CampaignSpec {
+	return chaos.CampaignSpec{
+		Trials:  trials,
+		Packets: packets,
+		Flits:   flits,
+		Window:  80,
+		Seed:    seed,
+		Plan: chaos.PlanSpec{
+			LinkKills: 1, LinkFlaps: 1, RouterKills: 1,
+			Window: 40, RepairAfter: 160,
+		},
+		Engine: chaos.Config{
+			Build:       dualFractahedron,
+			Sim:         sim.Config{FIFODepth: 4, TimeoutCycles: 200, MaxRetries: 1},
+			Reconfigure: true,
+		},
+	}
+}

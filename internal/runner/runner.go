@@ -67,6 +67,28 @@ func NewConfig(opts ...Option) Config {
 // On error the lowest-index failing point's error is returned, so the
 // reported failure is deterministic too.
 func Map[R any](cfg Config, n int, fn func(point int) (R, error)) ([]R, error) {
+	return MapResume(cfg, n, nil, fn, nil)
+}
+
+// MapResume is Map with a completed-set skip and a streaming hook, the
+// primitives the campaign server's checkpoint/resume and NDJSON streaming
+// are built on. For each point, skip (when non-nil) is consulted first: a
+// (result, true) return installs the already-known result without running
+// fn — the checkpoint fast path. emit (when non-nil) is called once per
+// freshly computed point, from the worker that computed it, so callers can
+// stream results as they land; emit must be safe for concurrent use and
+// receives points in completion order, NOT point order — the caller owns
+// re-establishing the merge-in-order contract (the returned slice always
+// has it).
+//
+// Error determinism: the error returned is always that of the
+// lowest-index failing point, regardless of worker count or schedule.
+// Workers publish the lowest failing index seen so far; points above it
+// are cancelled, points below it keep running (one of them may fail
+// lower still), so the minimum converges on the true lowest failure.
+// emit is never called for a failing point, but may have fired for
+// points above the failure before it surfaced.
+func MapResume[R any](cfg Config, n int, skip func(point int) (R, bool), fn func(point int) (R, error), emit func(point int, r R)) ([]R, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -80,7 +102,8 @@ func Map[R any](cfg Config, n int, fn func(point int) (R, error)) ([]R, error) {
 	out := make([]R, n)
 	errs := make([]error, n)
 	var next atomic.Int64
-	var failed atomic.Bool
+	var minFail atomic.Int64
+	minFail.Store(int64(n))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -88,16 +111,35 @@ func Map[R any](cfg Config, n int, fn func(point int) (R, error)) ([]R, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				// The claim counter is monotonic, so once a claim lands
+				// above the lowest known failure every later claim will
+				// too: this worker is done.
+				if i >= n || int64(i) > minFail.Load() {
 					return
+				}
+				if skip != nil {
+					if r, ok := skip(i); ok {
+						out[i] = r
+						continue
+					}
 				}
 				r, err := fn(i)
 				if err != nil {
 					errs[i] = err
-					failed.Store(true)
-					return
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					// Keep claiming: a lower-index point may still be
+					// pending, and it might fail lower than this one.
+					continue
 				}
 				out[i] = r
+				if emit != nil {
+					emit(i, r)
+				}
 			}
 		}()
 	}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -77,6 +78,82 @@ func TestMapError(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "point 10") {
 		t.Fatalf("sequential err = %v, want point 10", err)
+	}
+}
+
+// TestMapErrorDeterministic pins the bugfix for first-writer-wins error
+// selection: with several failing points spread across a multi-worker
+// pool, the reported error must always be the lowest-index failing
+// point's, on every run and for every worker count. Before the fix the
+// early-exit flag let whichever failure the schedule hit first suppress
+// the lower-index ones.
+func TestMapErrorDeterministic(t *testing.T) {
+	failing := map[int]bool{9: true, 30: true, 50: true, 63: true}
+	for _, workers := range []int{2, 4, 8, 16} {
+		for rep := 0; rep < 25; rep++ {
+			_, err := Map(Config{Workers: workers}, 64, func(i int) (int, error) {
+				if failing[i] {
+					return 0, fmt.Errorf("injected failure at %d", i)
+				}
+				// Skew point costs so the schedule reaches high-index
+				// failures before low-index ones on most runs.
+				if i < 20 {
+					time.Sleep(200 * time.Microsecond)
+				}
+				return i, nil
+			})
+			if err == nil || !strings.Contains(err.Error(), "runner: point 9:") {
+				t.Fatalf("workers=%d rep=%d: err = %v, want lowest failing point 9", workers, rep, err)
+			}
+		}
+	}
+}
+
+// TestMapResume checks the completed-set skip and the streaming hook:
+// skipped points install their checkpointed result without running fn,
+// fresh points reach emit exactly once, and the merged slice is identical
+// to an uninterrupted run.
+func TestMapResume(t *testing.T) {
+	const n = 40
+	full, err := Map(Config{Workers: 4}, n, func(i int) (int, error) { return i * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran, emitted [n]atomic.Int64
+	resumed, err := MapResume(Config{Workers: 4}, n,
+		func(i int) (int, bool) {
+			if i%2 == 0 { // even points are "already checkpointed"
+				return i * 3, true
+			}
+			return 0, false
+		},
+		func(i int) (int, error) {
+			ran[i].Add(1)
+			return i * 3, nil
+		},
+		func(i int, r int) {
+			emitted[i].Add(1)
+			if r != i*3 {
+				t.Errorf("emit(%d) got %d, want %d", i, r, i*3)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatal("resumed merge diverged from uninterrupted run")
+	}
+	for i := 0; i < n; i++ {
+		wantRan := int64(0)
+		if i%2 == 1 {
+			wantRan = 1
+		}
+		if got := ran[i].Load(); got != wantRan {
+			t.Errorf("point %d ran %d times, want %d", i, got, wantRan)
+		}
+		if got := emitted[i].Load(); got != wantRan {
+			t.Errorf("point %d emitted %d times, want %d (skipped points must not re-emit)", i, got, wantRan)
+		}
 	}
 }
 

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed artifact store: completed campaign
+// artifacts keyed by their job key (which folds in the engine revision,
+// see jobKey), held in memory and — when a directory is configured —
+// mirrored to disk so a restarted server still serves old results
+// without a single simulator cycle. Hit/miss counters feed /statusz;
+// "repeat query is fully cache-served" is asserted by watching the
+// computed-points counter stay flat while hits climb.
+type Cache struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string][]byte
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache opens (creating if needed) the artifact store rooted at dir;
+// an empty dir means memory-only.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: artifact cache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: map[string][]byte{}}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".ndjson")
+}
+
+// Get returns the artifact for key, counting a hit or a miss. A disk
+// hit is promoted into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	b, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok && c.dir != "" {
+		if disk, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.mem[key] = disk
+			c.mu.Unlock()
+			b, ok = disk, true
+		}
+	}
+	if ok {
+		c.hits.Add(1)
+		return b, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores an artifact. The disk copy lands via temp-file + rename, so
+// a crash mid-write can never leave a torn artifact under a valid key.
+func (c *Cache) Put(key string, b []byte) error {
+	c.mu.Lock()
+	c.mem[key] = b
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("serve: artifact cache: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: artifact cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: artifact cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: artifact cache: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,60 @@
+package serve
+
+// Limiter is a token-bucket admission rate limiter built on a buffered
+// channel: Allow draws a token, Refill restores some. Both sides are
+// select-with-default, so neither can ever block — the limiter is pure
+// state, and the refill cadence is supplied from outside (the server's
+// ticker goroutine in production, an explicit Refill call in tests),
+// which is what makes its behavior deterministic under test: N Allows
+// after K Refills is a pure function of (burst, perRefill, N, K).
+type Limiter struct {
+	tokens    chan struct{}
+	perRefill int
+}
+
+// NewLimiter builds a bucket holding burst tokens (initially full) that
+// Refill tops up by perRefill. burst <= 0 returns nil, and a nil
+// *Limiter admits everything — rate limiting off.
+func NewLimiter(burst, perRefill int) *Limiter {
+	if burst <= 0 {
+		return nil
+	}
+	if perRefill < 1 {
+		perRefill = 1
+	}
+	l := &Limiter{tokens: make(chan struct{}, burst), perRefill: perRefill}
+	l.add(burst)
+	return l
+}
+
+// Allow consumes one token, reporting whether one was available.
+func (l *Limiter) Allow() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case <-l.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Refill restores up to perRefill tokens; the bucket never exceeds its
+// burst capacity (excess tokens are dropped by the full channel).
+func (l *Limiter) Refill() {
+	if l == nil {
+		return
+	}
+	l.add(l.perRefill)
+}
+
+func (l *Limiter) add(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case l.tokens <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
