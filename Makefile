@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency vet-conc codecert certify verify-fabric chaos-smoke serve-smoke
+.PHONY: all build test check race bench bench-smoke bench-json sweep-bench golden clean lint vet-lint lint-concurrency vet-conc codecert certify verify-fabric chaos-smoke serve-smoke livefabric
 
 all: build test
 
@@ -73,6 +73,15 @@ check: lint lint-concurrency vet-conc codecert certify verify-fabric
 	$(MAKE) bench-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) livefabric
+
+# livefabric re-proves the concurrent backend's robustness matrix the way
+# CI does: delivered-set equivalence, deadlock-iff-certificate, watchdog
+# and leak-freedom tests under the race detector at GOMAXPROCS 1, 2, 4.
+livefabric:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/livefabric/... ./internal/testutil/...
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/livefabric/... ./internal/testutil/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/livefabric/... ./internal/testutil/...
 
 # chaos-smoke runs a small deterministic fault-recovery campaign on the
 # dual fractahedron pair (link kill + link flap + router kill per trial)

@@ -10,6 +10,19 @@
 //	netsim -spec fat-fract:levels=2 -pattern db
 //	netsim -spec fat-fract:levels=2 -pattern bernoulli -rate 0.02 -runs 8 -workers 4
 //	netsim -spec fat-fract:levels=2 -fail-link 12 -fail-cycle 100
+//	netsim -spec fat-fract:levels=2 -backend live -packets 500
+//	netsim -spec ring:size=4,unsafe -backend live -pattern ringdeadlock -flits 64 -wire-delay 200us
+//
+// With -backend live the workload executes on the concurrent goroutine
+// fabric (internal/livefabric) instead of the cycle-level engine:
+// routers are goroutines, links are bounded channels, and a wedged run
+// is reported with the runtime wait-for cycle witness (exit 3). The
+// cycle-denominated knobs (-link-latency, -timeout, -shards,
+// -fail-cycle) do not apply there; -fail-link kills the link at startup,
+// and -wire-delay paces each flit by a wall-clock propagation time —
+// set it on contention demos so every worm is in flight at once and the
+// circular wait cannot be dodged by a fast scheduler draining worms
+// one by one.
 //
 // With -runs N > 1 the same configuration executes N times over a worker
 // pool, run i drawing its workload from the seed derived from (-seed, i);
@@ -19,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,6 +41,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/livefabric"
 	"repro/internal/router"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -52,9 +67,12 @@ func main() {
 	runs := flag.Int("runs", 1, "independent runs; run i derives its seed from (-seed, i)")
 	workers := flag.Int("workers", 0, "worker-pool size for -runs fan-out (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "engine shard count per run (<= 1 = sequential); results are identical for any value")
+	backend := flag.String("backend", "indexed", "execution backend: indexed (cycle-level engine) | live (concurrent goroutine fabric)")
+	wireDelay := flag.Duration("wire-delay", 0, "live backend only: wall-clock flit propagation per link; paces worms so contention demos wedge on any scheduler")
 	flag.Parse()
 
 	if err := cliutil.First(
+		cliutil.Backend("backend", *backend),
 		cliutil.Positive("runs", *runs),
 		cliutil.NonNegative("workers", *workers),
 		cliutil.NonNegative("shards", *shards),
@@ -93,6 +111,51 @@ func main() {
 		}
 	}
 
+	if *backend == "live" {
+		dis := sys.Disables
+		if *unrestricted {
+			dis = router.AllowAll(sys.Net)
+		}
+		if *timeout != 0 || *shards > 1 || *linkLat > 1 {
+			fmt.Fprintln(os.Stderr, "netsim: -timeout, -shards and -link-latency are cycle-denominated; the live backend ignores them")
+		}
+		fmt.Printf("%s, pattern=%s, backend=live, %d runs x %d flits/packet, FIFO depth %d\n",
+			name, *pattern, *runs, *flits, *fifo)
+		deadlocked := false
+		for i := 0; i < *runs; i++ {
+			specs, err := buildSpecs(runner.RNG(*seed, i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+				os.Exit(2)
+			}
+			f := livefabric.New(sys.Net, dis, livefabric.Config{FIFODepth: *fifo, VirtualChannels: *vcs, LinkDelay: *wireDelay})
+			if *failLink >= 0 {
+				f.KillLink(topology.LinkID(*failLink))
+			}
+			if err := f.AddBatch(sys.Tables, specs); err != nil {
+				fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+				os.Exit(1)
+			}
+			res := f.Run(context.Background())
+			fmt.Printf("  run %2d: injected=%5d delivered=%5d dropped=%3d in-order violations=%d deadlocked=%v\n",
+				i, res.Injected, res.Delivered, res.Dropped, res.InOrderViolations, res.Deadlocked)
+			if res.Deadlocked {
+				deadlocked = true
+				fmt.Println("  wait-for cycle:")
+				for _, w := range res.Witness {
+					fmt.Printf("    %s\n", w)
+				}
+			}
+		}
+		if deadlocked {
+			os.Exit(3)
+		}
+		return
+	}
+
+	if *wireDelay > 0 {
+		fmt.Fprintln(os.Stderr, "netsim: -wire-delay is wall-clock-denominated; the indexed backend ignores it (use -link-latency)")
+	}
 	cfg := sim.Config{FIFODepth: *fifo, VirtualChannels: *vcs, LinkLatency: *linkLat, TimeoutCycles: *timeout, DeadlockThreshold: 2000, Shards: *shards}
 	simulate := func(specs []sim.PacketSpec) (sim.Result, error) {
 		dis := sys.Disables

@@ -30,6 +30,22 @@ func NonNegative(name string, v int) error {
 	return nil
 }
 
+// Backends every execution-backend flag accepts: the deterministic
+// indexed engine and the concurrent live fabric. The list is the
+// contract between netsim, chaos and campaignd — one vocabulary, one
+// error message.
+var Backends = []string{"indexed", "live"}
+
+// Backend returns an error unless v names a known execution backend.
+func Backend(name, v string) error {
+	for _, b := range Backends {
+		if v == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("-%s must be one of %v, got %q", name, Backends, v)
+}
+
 // First returns the first non-nil error, so a command can validate every
 // flag in one expression and report the earliest failure.
 func First(errs ...error) error {

@@ -51,6 +51,29 @@ func TestNonNegative(t *testing.T) {
 	}
 }
 
+func TestBackend(t *testing.T) {
+	cases := []struct {
+		v  string
+		ok bool
+	}{
+		{"indexed", true},
+		{"live", true},
+		{"", false},
+		{"Live", false},
+		{"sequential", false},
+		{"indexed ", false},
+	}
+	for _, c := range cases {
+		err := Backend("backend", c.v)
+		if (err == nil) != c.ok {
+			t.Errorf("Backend(%q) = %v, want ok=%v", c.v, err, c.ok)
+		}
+		if err != nil && !strings.Contains(err.Error(), "-backend") {
+			t.Errorf("Backend(%q) error %q does not name the flag", c.v, err)
+		}
+	}
+}
+
 func TestFirst(t *testing.T) {
 	e1 := errors.New("first")
 	e2 := errors.New("second")

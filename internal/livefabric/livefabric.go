@@ -1,0 +1,577 @@
+// Package livefabric executes a ServerNet fabric as real concurrency: a
+// second backend over the same core.System / workload types as the
+// indexed engine (internal/sim), where wormhole flow control is rendered
+// directly in Go — each router input buffer is a bounded channel whose
+// capacity is the FIFO depth (the multi-lane storage of multistage
+// wormhole studies, mapped to channel slack), each buffer is drained by
+// its own goroutine, a worm's header allocates the downstream buffer by
+// taking its mutex and the tail releases it, and flits advance by real
+// channel sends. Backpressure, hold-and-wait and circular blocking are
+// therefore the scheduler's, not a simulated clock's: a cyclic channel
+// dependency graph deadlocks this backend for real, exactly as the
+// Dally–Seitz argument predicts, and an acyclic certificate (fabricver)
+// must keep it live under any interleaving.
+//
+// The engine is intentionally NOT deterministic — delivery interleaving
+// is the scheduler's — so it reports only schedule-independent facts:
+// which packets were delivered or dropped, whether the run deadlocked,
+// and a wait-for-cycle witness when it did. The deterministic clockwork
+// stays in internal/sim; this backend exists to validate the repo's
+// safety claims under real nondeterminism:
+//
+//   - delivered-set equivalence: for every certified topology × routing
+//     pair the delivered packet set equals the indexed engine's;
+//   - deadlock iff certificate cycle: a run blocks permanently exactly
+//     when the static CDG certificate reports a cycle, and the runtime
+//     witness (watchdog.go) names channels on such a cycle;
+//   - leak freedom: every shutdown path — drain, context cancellation,
+//     watchdog abort, mid-run fault — joins every goroutine on the
+//     fabric WaitGroup (the shape the goleak/chanwait certificate
+//     proves, and internal/testutil/leakcheck re-proves dynamically).
+//
+// Every potentially blocking channel operation pairs with the abort
+// channel in a select, so cancellation releases every goroutine: a
+// parked mutex waiter is released transitively, because the holder's
+// own blocking send aborts and its deferred unlock runs.
+package livefabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config sizes the live fabric. Zero values select the indexed engine's
+// defaults, so the two backends agree on buffering out of the box.
+type Config struct {
+	// FIFODepth is the bounded-channel capacity per input buffer, per
+	// virtual channel, in flits (default 4) — the exact analogue of the
+	// indexed engine's per-VC FIFO depth.
+	FIFODepth int
+	// VirtualChannels is the VC count per physical channel (default 1).
+	// Use routing.Tables.NumVC() to match a VC-assigned routing.
+	VirtualChannels int
+	// Epoch is the watchdog sampling period (default 20ms). A run that
+	// makes no send/receive progress for a full epoch, with no flit on a
+	// wire, is inspected for a wait-for cycle.
+	Epoch time.Duration
+	// LinkDelay is an optional per-flit wire-crossing time. It models
+	// LinkLatency (long cables) in wall-clock form: flits mid-wire count
+	// as progress, so a slow-but-moving run is never declared deadlocked
+	// no matter how Epoch compares to the crossing time.
+	LinkDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.FIFODepth <= 0 {
+		c.FIFODepth = 4
+	}
+	if c.VirtualChannels <= 0 {
+		c.VirtualChannels = 1
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Result summarizes one live run. Only schedule-independent facts
+// appear: counts and membership, never timing.
+type Result struct {
+	Injected  int // packets whose tail left the source
+	Delivered int // packets whose tail reached the destination
+	Dropped   int // packets discarded at a disable violation or dead link
+
+	Deadlocked bool
+	// WaitCycle is the witness cycle over physical channels when
+	// Deadlocked: each channel's resident worm waits for the next.
+	WaitCycle []topology.ChannelID
+	// Witness renders the cycle in the fabricver counterexample idiom,
+	// one "router → router [vcN]" line per blocked channel.
+	Witness []string
+
+	// DeliveredIDs / DroppedIDs are the packet-id sets, sorted — the
+	// membership the structural tests compare against the indexed engine.
+	DeliveredIDs []int
+	DroppedIDs   []int
+
+	InOrderViolations int  // per-(src,dst) sequence regressions observed at ejection
+	Canceled          bool // the caller's context expired before the run settled
+}
+
+type packet struct {
+	id    int
+	spec  sim.PacketSpec
+	route []topology.ChannelID
+	vcs   []int // nil => VC 0 on every hop
+	seq   int   // per (src,dst) injection sequence
+}
+
+func (p *packet) vcAt(hop int) int {
+	if p.vcs == nil {
+		return 0
+	}
+	return p.vcs[hop]
+}
+
+// flit is one unit on a wire. hop indexes the route channel just
+// crossed, so the receiving buffer's goroutine knows the next turn
+// without searching the route.
+type flit struct {
+	pkt *packet
+	idx int // 0 = header, spec.Flits-1 = tail
+	hop int
+}
+
+// Fabric is one live network instance: build with New, add packets,
+// then Run exactly once.
+type Fabric struct {
+	net *topology.Network
+	dis *router.Disables
+	cfg Config
+
+	numVC   int
+	packets []*packet
+	queues  [][]*packet // per source node address, injection order
+	seqs    map[[2]int]int
+
+	// links holds one bounded flit channel per buffer key
+	// (channel*VirtualChannels + vc): the input FIFO the downstream
+	// device drains. Capacity = FIFODepth.
+	links []chan flit
+	// outMu guards worm allocation of each downstream buffer: a header
+	// takes the key's mutex, the tail's send releases it — wormhole
+	// channel allocation as a critical section.
+	outMu []sync.Mutex
+
+	// Per-channel tables, indexed by ChannelID (precomputed, read-only
+	// after New).
+	chDstIsNode []bool
+	chSrcPort   []int    // output port number driving the channel
+	chAllowed   [][]bool // disable row at (dst router, dst port); nil for ejection
+	chLink      []topology.LinkID
+
+	deadLink []atomic.Bool // mid-run fault injection, checked at each header turn
+
+	// Progress instrumentation for the watchdog: progress counts every
+	// completed send/receive, wireFlits the flits inside a LinkDelay
+	// crossing, waiting[k] records 1 + the buffer key the worm resident
+	// in buffer k needs next (0 = not blocked downstream).
+	progress    atomic.Uint64
+	wireFlits   atomic.Int64
+	outstanding atomic.Int64
+	waiting     []atomic.Int64
+
+	abort     chan struct{} // closed once: cancel, watchdog abort, or post-drain teardown
+	stopOnce  sync.Once
+	done      chan struct{} // closed once: every packet delivered or dropped
+	doneOnce  sync.Once
+	wg        sync.WaitGroup
+	startOnce sync.Once
+
+	mu        sync.Mutex
+	res       Result
+	delivered []bool
+	dropped   []bool
+	lastSeq   map[[2]int]int
+}
+
+// New creates a live fabric over a network with the given disable
+// matrix (router.AllowAll for an unrestricted crossbar).
+func New(net *topology.Network, dis *router.Disables, cfg Config) *Fabric {
+	cfg = cfg.withDefaults()
+	numCh := net.NumChannels()
+	numKeys := numCh * cfg.VirtualChannels
+	f := &Fabric{
+		net:         net,
+		dis:         dis,
+		cfg:         cfg,
+		numVC:       cfg.VirtualChannels,
+		queues:      make([][]*packet, net.NumNodes()),
+		seqs:        make(map[[2]int]int),
+		links:       make([]chan flit, numKeys),
+		outMu:       make([]sync.Mutex, numKeys),
+		chDstIsNode: make([]bool, numCh),
+		chSrcPort:   make([]int, numCh),
+		chAllowed:   make([][]bool, numCh),
+		chLink:      make([]topology.LinkID, numCh),
+		deadLink:    make([]atomic.Bool, net.NumLinks()),
+		waiting:     make([]atomic.Int64, numKeys),
+		abort:       make(chan struct{}),
+		done:        make(chan struct{}),
+		lastSeq:     make(map[[2]int]int),
+	}
+	for k := range f.links {
+		f.links[k] = make(chan flit, cfg.FIFODepth)
+	}
+	for c := 0; c < numCh; c++ {
+		ch := topology.ChannelID(c)
+		src, dst := net.ChannelSrc(ch), net.ChannelDst(ch)
+		f.chSrcPort[c] = src.Port
+		f.chLink[c] = net.ChannelLink(ch)
+		if net.Device(dst.Device).Kind == topology.Node {
+			f.chDstIsNode[c] = true
+		} else {
+			// Aliases the live disable matrix, like the indexed engine.
+			f.chAllowed[c] = dis.Row(dst.Device, dst.Port)
+		}
+	}
+	return f
+}
+
+func (f *Fabric) key(ch topology.ChannelID, vc int) int {
+	return int(ch)*f.numVC + vc
+}
+
+// AddPacket schedules a packet with an explicit route, mirroring the
+// indexed engine's validation so the two backends accept the same jobs.
+func (f *Fabric) AddPacket(spec sim.PacketSpec, route routing.Route) error {
+	if spec.Flits < 1 {
+		return fmt.Errorf("livefabric: packet needs at least 1 flit, got %d", spec.Flits)
+	}
+	if spec.Src < 0 || spec.Src >= len(f.queues) {
+		return fmt.Errorf("livefabric: source %d is not a node address (network has %d nodes)",
+			spec.Src, len(f.queues))
+	}
+	if route.Src != spec.Src || route.Dst != spec.Dst {
+		return fmt.Errorf("livefabric: route %d->%d does not match spec %d->%d",
+			route.Src, route.Dst, spec.Src, spec.Dst)
+	}
+	if len(route.Channels) < 2 {
+		return fmt.Errorf("livefabric: route %d->%d has %d channels, need injection and ejection",
+			route.Src, route.Dst, len(route.Channels))
+	}
+	for i := range route.Channels {
+		if v := route.VCAt(i); v < 0 || v >= f.numVC {
+			return fmt.Errorf("livefabric: route hop %d uses VC %d but the fabric has %d VCs",
+				i, v, f.numVC)
+		}
+	}
+	p := &packet{
+		id:    len(f.packets),
+		spec:  spec,
+		route: route.Channels,
+		vcs:   route.VCs,
+		seq:   f.seqs[[2]int{spec.Src, spec.Dst}],
+	}
+	f.seqs[[2]int{spec.Src, spec.Dst}]++
+	f.packets = append(f.packets, p)
+	f.queues[spec.Src] = append(f.queues[spec.Src], p)
+	return nil
+}
+
+// AddBatch routes each spec through the tables and schedules it.
+func (f *Fabric) AddBatch(t *routing.Tables, specs []sim.PacketSpec) error {
+	for _, spec := range specs {
+		r, err := t.Route(spec.Src, spec.Dst)
+		if err != nil {
+			return err
+		}
+		if err := f.AddPacket(spec, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KillLink fails a link mid-run: worms whose header has yet to turn onto
+// either of its channels are discarded from then on (worms already
+// committed finish normally — what a schedule delivered stays delivered).
+// Safe to call concurrently with Run.
+func (f *Fabric) KillLink(l topology.LinkID) {
+	if int(l) >= 0 && int(l) < len(f.deadLink) {
+		f.deadLink[l].Store(true)
+	}
+}
+
+// Run executes the fabric until every packet is delivered or dropped,
+// the watchdog declares deadlock, or ctx expires — then joins every
+// goroutine and reports. A Fabric runs once.
+func (f *Fabric) Run(ctx context.Context) Result {
+	f.start()
+	select {
+	case <-f.done:
+	case <-f.abort: // watchdog declared deadlock
+	case <-ctx.Done():
+		f.mu.Lock()
+		f.res.Canceled = true
+		f.mu.Unlock()
+	}
+	f.stop()
+	f.wg.Wait()
+	return f.snapshot()
+}
+
+// start spawns the whole goroutine fabric: one injector per active
+// source, one goroutine per buffer key (forwarder at router inputs,
+// consumer at ejection buffers), and the watchdog. Every spawn is
+// joined by Run on the fabric WaitGroup.
+func (f *Fabric) start() {
+	f.startOnce.Do(func() {
+		f.delivered = make([]bool, len(f.packets))
+		f.dropped = make([]bool, len(f.packets))
+		f.outstanding.Store(int64(len(f.packets)))
+		if len(f.packets) == 0 {
+			f.doneOnce.Do(func() { close(f.done) })
+		}
+		for src := range f.queues {
+			if len(f.queues[src]) == 0 {
+				continue
+			}
+			src := src
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				f.runInjector(src)
+			}()
+		}
+		for k := range f.links {
+			k := k
+			if f.chDstIsNode[k/f.numVC] {
+				f.wg.Add(1)
+				go func() {
+					defer f.wg.Done()
+					f.runConsumer(k)
+				}()
+				continue
+			}
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				f.runForwarder(k)
+			}()
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.runWatchdog()
+		}()
+	})
+}
+
+// stop cancels the fabric: closing abort releases every select, and the
+// deferred unlocks release every parked mutex waiter transitively.
+func (f *Fabric) stop() {
+	f.stopOnce.Do(func() { close(f.abort) })
+}
+
+// runInjector feeds one source node's packets into the network in
+// injection order: allocate the injection buffer, push the worm flit by
+// flit, release at the tail.
+func (f *Fabric) runInjector(src int) {
+	for _, p := range f.queues[src] {
+		if !f.pushWorm(p) {
+			return
+		}
+		f.mu.Lock()
+		f.res.Injected++
+		f.mu.Unlock()
+	}
+}
+
+// pushWorm injects one whole packet into its route's first buffer.
+// Returns false when the fabric aborted mid-worm.
+func (f *Fabric) pushWorm(p *packet) bool {
+	k := f.key(p.route[0], p.vcAt(0))
+	f.outMu[k].Lock()
+	defer f.outMu[k].Unlock()
+	for i := 0; i < p.spec.Flits; i++ {
+		if f.cfg.LinkDelay > 0 && !f.crossWire() {
+			return false
+		}
+		select {
+		case f.links[k] <- flit{pkt: p, idx: i, hop: 0}:
+			f.progress.Add(1)
+		case <-f.abort:
+			return false
+		}
+	}
+	return true
+}
+
+// runForwarder drains one router input buffer: receive each worm's
+// header, then relay or discard the worm. One goroutine per buffer key
+// is the literal reading of "router per goroutine, buffer per channel".
+func (f *Fabric) runForwarder(k int) {
+	for {
+		var head flit
+		select {
+		case head = <-f.links[k]:
+			f.progress.Add(1)
+		case <-f.abort:
+			return
+		}
+		if !f.relayWorm(k, head) {
+			return
+		}
+	}
+}
+
+// relayWorm moves one worm (header already received) from input buffer
+// k to the next buffer on its route. The header acquires the downstream
+// buffer's mutex — the wormhole channel allocation — and the tail's
+// send releases it; a blocked send inside the critical section is
+// exactly a worm holding a buffer while waiting for the next, so a
+// cyclic dependency wedges here for real. Returns false on abort.
+func (f *Fabric) relayWorm(k int, head flit) bool {
+	p := head.pkt
+	hop := head.hop + 1
+	next := p.route[hop]
+	if !f.turnAllowed(head, next) {
+		return f.drainWorm(k, head)
+	}
+	nk := f.key(next, p.vcAt(hop))
+	f.waiting[k].Store(int64(nk) + 1)
+	defer f.waiting[k].Store(0)
+	f.outMu[nk].Lock()
+	defer f.outMu[nk].Unlock()
+	fl := head
+	for {
+		fl.hop = hop
+		if f.cfg.LinkDelay > 0 && !f.crossWire() {
+			return false
+		}
+		select {
+		case f.links[nk] <- fl:
+			f.progress.Add(1)
+		case <-f.abort:
+			return false
+		}
+		if fl.idx == p.spec.Flits-1 {
+			return true
+		}
+		// Waiting for the worm's own next flit from upstream is not a
+		// downstream dependency; keep it out of the wait-for snapshot.
+		f.waiting[k].Store(0)
+		select {
+		case fl = <-f.links[k]:
+			f.progress.Add(1)
+		case <-f.abort:
+			return false
+		}
+		f.waiting[k].Store(int64(nk) + 1)
+	}
+}
+
+// turnAllowed checks the path-disable register and the fault state for
+// a header about to turn onto channel next.
+func (f *Fabric) turnAllowed(head flit, next topology.ChannelID) bool {
+	if f.deadLink[f.chLink[next]].Load() {
+		return false
+	}
+	row := f.chAllowed[head.pkt.route[head.hop]]
+	return row == nil || row[f.chSrcPort[next]]
+}
+
+// drainWorm consumes the rest of a discarded worm from buffer k so the
+// upstream allocation can release. Returns false on abort.
+func (f *Fabric) drainWorm(k int, head flit) bool {
+	f.markDropped(head.pkt)
+	fl := head
+	for fl.idx < fl.pkt.spec.Flits-1 {
+		select {
+		case fl = <-f.links[k]:
+			f.progress.Add(1)
+		case <-f.abort:
+			return false
+		}
+	}
+	return true
+}
+
+// runConsumer drains one ejection buffer, recording each tail flit as a
+// delivery with the in-order check of §3.3.
+func (f *Fabric) runConsumer(k int) {
+	for {
+		select {
+		case fl := <-f.links[k]:
+			f.progress.Add(1)
+			if fl.idx == fl.pkt.spec.Flits-1 {
+				f.markDelivered(fl.pkt)
+			}
+		case <-f.abort:
+			return
+		}
+	}
+}
+
+// crossWire holds a flit on the wire for LinkDelay. Mid-wire flits
+// count as progress for the watchdog, so long "cables" never read as
+// quiescence. Returns false on abort.
+func (f *Fabric) crossWire() bool {
+	f.wireFlits.Add(1)
+	defer f.wireFlits.Add(-1)
+	t := time.NewTimer(f.cfg.LinkDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-f.abort:
+		return false
+	}
+}
+
+func (f *Fabric) markDelivered(p *packet) {
+	f.mu.Lock()
+	fresh := !f.delivered[p.id] && !f.dropped[p.id]
+	if fresh {
+		f.delivered[p.id] = true
+		f.res.Delivered++
+		pair := [2]int{p.spec.Src, p.spec.Dst}
+		if p.seq < f.lastSeq[pair] {
+			f.res.InOrderViolations++
+		} else {
+			f.lastSeq[pair] = p.seq
+		}
+	}
+	f.mu.Unlock()
+	if fresh {
+		f.resolve()
+	}
+}
+
+func (f *Fabric) markDropped(p *packet) {
+	f.mu.Lock()
+	fresh := !f.delivered[p.id] && !f.dropped[p.id]
+	if fresh {
+		f.dropped[p.id] = true
+		f.res.Dropped++
+	}
+	f.mu.Unlock()
+	if fresh {
+		f.resolve()
+	}
+}
+
+// resolve retires one packet; the last one closes done and the run
+// drains normally.
+func (f *Fabric) resolve() {
+	if f.outstanding.Add(-1) == 0 {
+		f.doneOnce.Do(func() { close(f.done) })
+	}
+}
+
+// snapshot assembles the final Result after every goroutine joined.
+func (f *Fabric) snapshot() Result {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	res := f.res
+	res.DeliveredIDs = nil
+	res.DroppedIDs = nil
+	for id := range f.packets {
+		if f.delivered[id] {
+			res.DeliveredIDs = append(res.DeliveredIDs, id)
+		}
+		if f.dropped[id] {
+			res.DroppedIDs = append(res.DroppedIDs, id)
+		}
+	}
+	return res
+}

@@ -1,0 +1,261 @@
+// Structural validation of the live backend against the two oracles the
+// repo already trusts: the indexed engine (delivered-set equivalence on
+// every BuiltinSpecs pair) and the static Dally–Seitz certificate (a run
+// blocks permanently iff the CDG has a cycle). Run under -race at
+// GOMAXPROCS 1, 2, and 4 by the livefabric CI job; when a deadlock
+// assertion fails, the witness is dumped as JSON into
+// $LIVEFABRIC_WITNESS_DIR for artifact upload.
+package livefabric_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadlock"
+	"repro/internal/livefabric"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// buildSystem parses one registry spec or fails the test.
+func buildSystem(t *testing.T, spec string) *core.System {
+	t.Helper()
+	sys, _, err := core.ParseSystem(spec)
+	if err != nil {
+		t.Fatalf("ParseSystem(%q): %v", spec, err)
+	}
+	return sys
+}
+
+// uniformLoad is the shared workload for the equivalence sweep: a
+// seeded uniform-random set, two packets per node, all injectable at
+// once — enough contention to exercise arbitration on every pair.
+func uniformLoad(sys *core.System, seed int64) []sim.PacketSpec {
+	n := sys.Net.NumNodes()
+	return workload.UniformRandom(rand.New(rand.NewSource(seed)), n, 2*n, 4, 0)
+}
+
+// specKey is the delivered-set element: packet identity up to the
+// fields both engines share.
+func specKey(p sim.PacketSpec) string {
+	return fmt.Sprintf("%d->%d/%dfl@%d", p.Src, p.Dst, p.Flits, p.InjectCycle)
+}
+
+// runIndexed executes the reference engine and returns its result plus
+// the sorted multiset of delivered packet specs.
+func runIndexed(t *testing.T, sys *core.System, specs []sim.PacketSpec, cfg sim.Config) (sim.Result, []string) {
+	t.Helper()
+	s := sim.New(sys.Net, sys.Disables, cfg)
+	var delivered []string
+	s.OnDelivered(func(spec sim.PacketSpec, now int) {
+		delivered = append(delivered, specKey(spec))
+	})
+	if err := s.AddBatch(sys.Tables, specs); err != nil {
+		t.Fatalf("indexed AddBatch: %v", err)
+	}
+	res := s.Run()
+	sort.Strings(delivered)
+	return res, delivered
+}
+
+// runLive executes the concurrent backend and returns its result plus
+// the sorted multiset of delivered packet specs.
+func runLive(t *testing.T, sys *core.System, specs []sim.PacketSpec, cfg livefabric.Config) (livefabric.Result, []string) {
+	t.Helper()
+	f := livefabric.New(sys.Net, sys.Disables, cfg)
+	if err := f.AddBatch(sys.Tables, specs); err != nil {
+		t.Fatalf("live AddBatch: %v", err)
+	}
+	res := f.Run(context.Background())
+	delivered := make([]string, 0, len(res.DeliveredIDs))
+	for _, id := range res.DeliveredIDs {
+		delivered = append(delivered, specKey(specs[id]))
+	}
+	sort.Strings(delivered)
+	return res, delivered
+}
+
+// dumpWitness writes the run's deadlock witness (or its absence) to
+// $LIVEFABRIC_WITNESS_DIR so a failing CI run uploads the evidence.
+func dumpWitness(t *testing.T, spec string, res livefabric.Result) {
+	t.Helper()
+	dir := os.Getenv("LIVEFABRIC_WITNESS_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("witness dir: %v", err)
+		return
+	}
+	b, err := json.MarshalIndent(map[string]any{
+		"spec":       spec,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"deadlocked": res.Deadlocked,
+		"witness":    res.Witness,
+		"delivered":  res.Delivered,
+		"dropped":    res.Dropped,
+		"injected":   res.Injected,
+	}, "", "  ")
+	if err != nil {
+		t.Logf("witness marshal: %v", err)
+		return
+	}
+	name := strings.NewReplacer(":", "_", ",", "_", "=", "-").Replace(spec)
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Logf("witness write: %v", err)
+		return
+	}
+	t.Logf("witness written to %s", path)
+}
+
+// TestDeliveredSetMatchesIndexed is robustness property (1), first
+// half: for every certified builtin pair the live backend delivers
+// exactly the packet set the indexed engine delivers — same multiset of
+// (src, dst, flits) identities, nothing dropped, nothing deadlocked,
+// in-order per pair — under real scheduler nondeterminism.
+func TestDeliveredSetMatchesIndexed(t *testing.T) {
+	for i, spec := range core.BuiltinSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			sys := buildSystem(t, spec)
+			specs := uniformLoad(sys, int64(i+1))
+			numVC := sys.Tables.NumVC()
+
+			iRes, iSet := runIndexed(t, sys, specs, sim.Config{FIFODepth: 4, VirtualChannels: numVC})
+			lRes, lSet := runLive(t, sys, specs, livefabric.Config{FIFODepth: 4, VirtualChannels: numVC})
+
+			if iRes.Deadlocked || iRes.Dropped != 0 || iRes.Delivered != len(specs) {
+				t.Fatalf("indexed oracle unhealthy: %+v", iRes)
+			}
+			if lRes.Deadlocked {
+				dumpWitness(t, spec, lRes)
+				t.Fatalf("live backend deadlocked on certified pair: witness %v", lRes.Witness)
+			}
+			if lRes.Dropped != 0 || lRes.Canceled {
+				t.Fatalf("live backend dropped=%d canceled=%v on fault-free run", lRes.Dropped, lRes.Canceled)
+			}
+			if lRes.InOrderViolations != 0 {
+				t.Fatalf("live backend reordered %d packets", lRes.InOrderViolations)
+			}
+			if len(iSet) != len(lSet) {
+				t.Fatalf("delivered counts differ: indexed %d, live %d", len(iSet), len(lSet))
+			}
+			for j := range iSet {
+				if iSet[j] != lSet[j] {
+					t.Fatalf("delivered sets differ at %d: indexed %s, live %s", j, iSet[j], lSet[j])
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlockIffCertificate is robustness property (1), second half —
+// the iff. Certified pairs (CDG acyclic) must always drain; the
+// deliberately unsafe rings (CDG cycle) must wedge under the Figure 1
+// circular-wait workload, with long worms so the headers claim the full
+// ring of buffers before any tail can release one, and the watchdog
+// must name a genuine wait cycle.
+func TestDeadlockIffCertificate(t *testing.T) {
+	// Certified side: certificate free, live run drains.
+	for i, spec := range core.BuiltinSpecs() {
+		t.Run(spec, func(t *testing.T) {
+			sys := buildSystem(t, spec)
+			rep, err := deadlock.Analyze(sys.Tables)
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if !rep.Free {
+				t.Fatalf("registry pair lost its certificate: cycle %v", rep.Cycle)
+			}
+			res, _ := runLive(t, sys, uniformLoad(sys, int64(100+i)),
+				livefabric.Config{FIFODepth: 2, VirtualChannels: sys.Tables.NumVC()})
+			if res.Deadlocked {
+				dumpWitness(t, spec, res)
+				t.Fatalf("certified pair deadlocked live: witness %v", res.Witness)
+			}
+			if res.Delivered+res.Dropped != len(res.DeliveredIDs)+len(res.DroppedIDs) || res.Delivered == 0 {
+				t.Fatalf("inconsistent result: %+v", res)
+			}
+		})
+	}
+	// Unsafe side: certificate cycle, live run wedges with a witness.
+	for _, spec := range []string{"ring:size=4,unsafe", "ring:size=6,unsafe"} {
+		t.Run(spec, func(t *testing.T) {
+			sys := buildSystem(t, spec)
+			rep, err := deadlock.Analyze(sys.Tables)
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if rep.Free {
+				t.Fatalf("unsafe ring analyzed free")
+			}
+			pairs := workload.RingDeadlockSet(sys.Net.NumNodes())
+			var specs []sim.PacketSpec
+			for r := 0; r < 8; r++ {
+				specs = append(specs, workload.Transfers(pairs, 64)...)
+			}
+			// The wire delay paces every worm, so all of them are in
+			// flight at once no matter how fast the scheduler runs a
+			// single goroutine chain — the circular wait cannot be dodged
+			// by one worm streaming to completion before the rest start.
+			f := livefabric.New(sys.Net, sys.Disables,
+				livefabric.Config{FIFODepth: 2, Epoch: 5 * time.Millisecond,
+					LinkDelay: 200 * time.Microsecond})
+			if err := f.AddBatch(sys.Tables, specs); err != nil {
+				t.Fatalf("AddBatch: %v", err)
+			}
+			res := f.Run(context.Background())
+			dumpWitness(t, spec, res)
+			if !res.Deadlocked {
+				t.Fatalf("unsafe ring did not deadlock: %+v", res)
+			}
+			if len(res.WaitCycle) < 2 || len(res.Witness) != len(res.WaitCycle) {
+				t.Fatalf("degenerate witness: cycle %v, witness %v", res.WaitCycle, res.Witness)
+			}
+			seen := map[string]bool{}
+			for j, w := range res.Witness {
+				if w == "" || seen[w] {
+					t.Fatalf("witness entry %d (%q) empty or repeated in %v", j, w, res.Witness)
+				}
+				seen[w] = true
+				if int(res.WaitCycle[j]) >= sys.Net.NumChannels() {
+					t.Fatalf("witness channel %d out of range", res.WaitCycle[j])
+				}
+			}
+		})
+	}
+}
+
+// TestEquivalenceAcrossGOMAXPROCS re-proves the core property at P=1,
+// 2, and 4 inside one test binary, so the scheduler-width matrix holds
+// even when CI's env-matrix job is not the one running.
+func TestEquivalenceAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			sys := buildSystem(t, "fat-fract:levels=2")
+			specs := uniformLoad(sys, int64(procs))
+			numVC := sys.Tables.NumVC()
+			_, iSet := runIndexed(t, sys, specs, sim.Config{FIFODepth: 4, VirtualChannels: numVC})
+			res, lSet := runLive(t, sys, specs, livefabric.Config{FIFODepth: 4, VirtualChannels: numVC})
+			if res.Deadlocked {
+				dumpWitness(t, "fat-fract:levels=2", res)
+				t.Fatalf("deadlocked at GOMAXPROCS=%d: %v", procs, res.Witness)
+			}
+			if strings.Join(iSet, ";") != strings.Join(lSet, ";") {
+				t.Fatalf("delivered sets diverge at GOMAXPROCS=%d", procs)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+// The runtime deadlock watchdog: the live analogue of the indexed
+// engine's idle-cycle deadlock detector, built from the same two pieces
+// the static side uses — a quiescence criterion and a wait-for-graph
+// witness. A run that makes no send/receive progress for a full epoch,
+// with nothing mid-wire and packets still outstanding, has every worm
+// parked; the watchdog then snapshots the blocked-downstream edges the
+// forwarders publish (waiting[k] = the buffer key the worm resident in
+// buffer k needs next), extracts a cycle with the same graph machinery
+// fabricver uses on a CDG, renders it in the counterexample idiom, and
+// cancels the run instead of letting the test suite hang.
+
+package livefabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// quietFallback is the number of consecutive quiescent epochs after
+// which the watchdog cancels the run even without a cycle witness: a
+// stuck run must never hang the suite, witness or not. Generous enough
+// that a transiently raced snapshot re-samples many times first.
+const quietFallback = 50
+
+// runWatchdog samples the progress counter each epoch. Quiescence is
+// only trusted when confirmed across a full epoch (two consecutive
+// samples with an unchanged counter), nothing is mid-wire, and packets
+// remain outstanding — so a slow-but-progressing run (LinkDelay far
+// above Epoch) can never be declared deadlocked: its flits are always
+// either moving or on a wire, both of which reset the quiet count.
+func (f *Fabric) runWatchdog() {
+	tick := time.NewTicker(f.cfg.Epoch)
+	defer tick.Stop()
+	last := f.progress.Load()
+	quiet := 0
+	for {
+		select {
+		case <-f.abort:
+			return
+		case <-f.done:
+			return
+		case <-tick.C:
+		}
+		cur := f.progress.Load()
+		if cur != last || f.wireFlits.Load() > 0 || f.outstanding.Load() == 0 {
+			last = cur
+			quiet = 0
+			continue
+		}
+		quiet++
+		if quiet < 2 {
+			continue
+		}
+		if cycle, ok := f.waitCycleSnapshot(); ok {
+			f.declareDeadlock(cycle)
+			return
+		}
+		if quiet >= quietFallback {
+			f.declareDeadlock(nil)
+			return
+		}
+	}
+}
+
+// waitCycleSnapshot builds the wait-for graph over buffer keys from the
+// forwarders' published blocked-downstream edges and extracts a witness
+// cycle — the Dally–Seitz argument run backwards: the cycle the static
+// certificate promised could not exist has materialized at runtime.
+func (f *Fabric) waitCycleSnapshot() ([]int, bool) {
+	g := graph.NewDigraph(len(f.waiting))
+	edges := 0
+	for k := range f.waiting {
+		if w := f.waiting[k].Load(); w > 0 {
+			g.AddEdge(k, int(w)-1)
+			edges++
+		}
+	}
+	if edges == 0 {
+		return nil, false
+	}
+	return g.FindCycle()
+}
+
+// declareDeadlock records the witness and cancels the run. keys is the
+// wait-for cycle over buffer keys (nil when the fallback fired with no
+// stable witness).
+func (f *Fabric) declareDeadlock(keys []int) {
+	f.mu.Lock()
+	f.res.Deadlocked = true
+	f.res.WaitCycle = nil
+	f.res.Witness = nil
+	for _, k := range keys {
+		f.res.WaitCycle = append(f.res.WaitCycle, topology.ChannelID(k/f.numVC))
+		f.res.Witness = append(f.res.Witness, f.keyString(k))
+	}
+	f.mu.Unlock()
+	f.stop()
+}
+
+// keyString renders one buffer key in the fabricver counterexample
+// idiom: the physical channel's endpoints, with the VC lane when the
+// fabric has more than one.
+func (f *Fabric) keyString(k int) string {
+	ch := topology.ChannelID(k / f.numVC)
+	if f.numVC == 1 {
+		return f.net.ChannelString(ch)
+	}
+	return fmt.Sprintf("%s vc%d", f.net.ChannelString(ch), k%f.numVC)
+}

@@ -1,0 +1,73 @@
+// Watchdog behavior tests: no false positives on slow-but-progressing
+// runs (the live analogue of the indexed engine's
+// TestLongLinkNoFalseDeadlock), and a well-formed witness when a real
+// wedge happens.
+package livefabric_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/livefabric"
+	"repro/internal/workload"
+)
+
+// TestSlowLinkNoFalseDeadlock drives a certified ring with a wire delay
+// more than an order of magnitude above the watchdog epoch. Every epoch
+// in which no send completes has a flit mid-wire, so the quiescence
+// criterion (no progress AND nothing on a wire) can never hold and the
+// run must drain undisturbed, however slowly.
+func TestSlowLinkNoFalseDeadlock(t *testing.T) {
+	sys := buildSystem(t, "ring:size=4")
+	specs := workload.Transfers(workload.RingDeadlockSet(sys.Net.NumNodes()), 2)
+	f := livefabric.New(sys.Net, sys.Disables, livefabric.Config{
+		FIFODepth:       2,
+		VirtualChannels: sys.Tables.NumVC(),
+		Epoch:           time.Millisecond,
+		LinkDelay:       25 * time.Millisecond,
+	})
+	if err := f.AddBatch(sys.Tables, specs); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	res := f.Run(context.Background())
+	if res.Deadlocked {
+		dumpWitness(t, "ring:size=4/slow-link", res)
+		t.Fatalf("slow run declared deadlocked: witness %v", res.Witness)
+	}
+	if res.Delivered != len(specs) || res.Dropped != 0 {
+		t.Fatalf("slow run did not drain: %+v", res)
+	}
+}
+
+// TestWatchdogWitnessIdiom pins the counterexample rendering: one entry
+// per wait-cycle edge, formatted like fabricver's channel strings, with
+// no VC suffix on a single-lane fabric.
+func TestWatchdogWitnessIdiom(t *testing.T) {
+	sys := buildSystem(t, "ring:size=4,unsafe")
+	var specs = workload.Transfers(workload.RingDeadlockSet(sys.Net.NumNodes()), 64)
+	for r := 0; r < 7; r++ {
+		specs = append(specs, workload.Transfers(workload.RingDeadlockSet(sys.Net.NumNodes()), 64)...)
+	}
+	f := livefabric.New(sys.Net, sys.Disables, livefabric.Config{
+		FIFODepth: 2,
+		Epoch:     5 * time.Millisecond,
+		LinkDelay: 200 * time.Microsecond,
+	})
+	if err := f.AddBatch(sys.Tables, specs); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	res := f.Run(context.Background())
+	if !res.Deadlocked {
+		t.Fatalf("unsafe ring did not deadlock: %+v", res)
+	}
+	for _, w := range res.Witness {
+		if strings.Contains(w, "vc") {
+			t.Fatalf("single-VC fabric witness carries a VC suffix: %q", w)
+		}
+		if got := sys.Net.ChannelString(res.WaitCycle[0]); !strings.Contains(got, "[") {
+			t.Fatalf("channel string idiom changed under the witness: %q", got)
+		}
+	}
+}

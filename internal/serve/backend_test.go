@@ -1,0 +1,106 @@
+// Tests for the backend seam: live jobs run the concurrent fabric end
+// to end on a live-backend server, are refused everywhere else, and
+// /statusz attributes computed points to the backend that ran them.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func testLive(seed int64) JobSpec {
+	return JobSpec{Kind: kindLive, Live: &LiveJobSpec{
+		Spec: "fat-fract:levels=1", Runs: 3, Packets: 40, Flits: 4, Seed: seed,
+	}}
+}
+
+// TestLiveJobEndToEnd: a live job admits, runs the goroutine fabric
+// once per point, and produces rows that state full delivery on a
+// certified fabric; /statusz reports the live backend and counts the
+// points under the live counter only.
+func TestLiveJobEndToEnd(t *testing.T) {
+	s := startTestServer(t, Config{Backend: BackendLive})
+	st, code := postJob(t, s, testLive(5))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	done := waitDone(t, s, st.Key)
+	if done.State != stateDone || done.Points != 3 {
+		t.Fatalf("job settled %+v", done)
+	}
+	art, code := get(t, s, "/v1/artifacts/"+st.Key)
+	if code != http.StatusOK {
+		t.Fatalf("artifact: HTTP %d", code)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(art))
+	run := 0
+	for sc.Scan() {
+		var row liveRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("row %d: %v", run, err)
+		}
+		if row.Run != run || row.Packets != 40 {
+			t.Fatalf("row %d shape: %+v", run, row)
+		}
+		if row.Delivered != row.Packets || row.Dropped != 0 || row.Deadlocked {
+			t.Fatalf("row %d: certified fabric did not deliver everything: %+v", run, row)
+		}
+		run++
+	}
+	if run != 3 {
+		t.Fatalf("artifact has %d rows, want 3", run)
+	}
+
+	b, _ := get(t, s, "/statusz")
+	var z Statusz
+	if err := json.Unmarshal(b, &z); err != nil {
+		t.Fatal(err)
+	}
+	if z.Backend != BackendLive {
+		t.Fatalf("statusz backend %q, want %q", z.Backend, BackendLive)
+	}
+	if z.Points.ComputedLive != 3 || z.Points.ComputedIndexed != 0 {
+		t.Fatalf("statusz per-backend split: %+v", z.Points)
+	}
+}
+
+// TestLiveJobNeedsLiveBackend: an indexed-backend server refuses live
+// jobs with 400, and a live-backend server still accepts indexed kinds
+// — the backend flag adds a capability, it never removes one.
+func TestLiveJobNeedsLiveBackend(t *testing.T) {
+	s := startTestServer(t, Config{})
+	if _, code := postJob(t, s, testLive(1)); code != http.StatusBadRequest {
+		t.Fatalf("live job on indexed backend: HTTP %d, want 400", code)
+	}
+
+	live := startTestServer(t, Config{Backend: BackendLive})
+	st, code := postJob(t, live, testSweep(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep on live backend: HTTP %d, want 202", code)
+	}
+	if done := waitDone(t, live, st.Key); done.State != stateDone {
+		t.Fatalf("sweep on live backend settled %+v", done)
+	}
+}
+
+// TestLiveJobValidation: malformed and uncertified live specs are
+// rejected at admission — in particular a fabric whose CDG certificate
+// has a cycle, whose schedule-dependent partial deliveries would break
+// the byte-identical artifact contract.
+func TestLiveJobValidation(t *testing.T) {
+	s := startTestServer(t, Config{Backend: BackendLive})
+	bad := []JobSpec{
+		{Kind: kindLive},
+		{Kind: kindLive, Live: &LiveJobSpec{Spec: "fat-fract:levels=1", Runs: 0, Packets: 1, Flits: 1}},
+		{Kind: kindLive, Live: &LiveJobSpec{Spec: "no-such-topology", Runs: 1, Packets: 1, Flits: 1}},
+		{Kind: kindLive, Live: &LiveJobSpec{Spec: "ring:size=4,unsafe", Runs: 1, Packets: 4, Flits: 4}},
+	}
+	for i, spec := range bad {
+		if _, code := postJob(t, s, spec); code != http.StatusBadRequest {
+			t.Fatalf("bad live spec %d: HTTP %d, want 400", i, code)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// The package's single wall-clock seam. Every timed wait the server
+// performs — the artificial per-point delay and the limiter refill
+// tick — goes through the Clock interface, so tests drive time
+// synthetically instead of sleeping, and the nondet analyzer's
+// allowlist for the package is exactly this file: the one place the
+// wall clock is real.
+package serve
+
+import "time"
+
+// Clock abstracts the server's timed waits. The zero Config uses the
+// wall clock; tests inject a fake to make retry/delay paths fire
+// without real elapsed time.
+type Clock interface {
+	// Sleep blocks the caller for d.
+	Sleep(d time.Duration)
+	// Tick returns a channel delivering ticks every d and a stop
+	// function releasing the underlying timer. Stop is idempotent per
+	// Clock contract only in that callers invoke it exactly once.
+	Tick(d time.Duration) (<-chan time.Time, func())
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+func (wallClock) Tick(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}

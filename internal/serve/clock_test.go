@@ -1,0 +1,96 @@
+// Tests for the Clock seam: the per-point delay and the limiter refill
+// both fire under a fake clock, deterministically and without real
+// elapsed time. Before the seam, the equivalents of these tests slept
+// through PointDelay for real (and the refill path was reachable only
+// by waiting out RefillEvery wall-clock ticks).
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock records Sleep calls and hands the refill loop a test-driven
+// tick channel. No method ever touches the wall clock.
+type fakeClock struct {
+	mu    sync.Mutex
+	slept []time.Duration
+	tick  chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{tick: make(chan time.Time)}
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.slept = append(c.slept, d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) Tick(d time.Duration) (<-chan time.Time, func()) {
+	return c.tick, func() {}
+}
+
+func (c *fakeClock) sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.slept...)
+}
+
+// TestPointDelayFiresUnderFakeClock: the per-point delay path runs once
+// per computed point — observed through the fake — while the campaign
+// settles in a fraction of the nominal delay budget, because nothing
+// actually sleeps. Under the wall clock this spec would hold the
+// workers for points x 250ms.
+func TestPointDelayFiresUnderFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	const delay = 250 * time.Millisecond
+	s := startTestServer(t, Config{PointDelay: delay, Clock: clk})
+	start := time.Now()
+	st, code := postJob(t, s, testSweep(9))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	done := waitDone(t, s, st.Key)
+	if done.State != stateDone {
+		t.Fatalf("job state %q: %s", done.State, done.Error)
+	}
+	slept := clk.sleeps()
+	if len(slept) != done.Points {
+		t.Fatalf("delay path fired %d times, want once per point (%d)", len(slept), done.Points)
+	}
+	for _, d := range slept {
+		if d != delay {
+			t.Fatalf("delay path slept %v, want %v", d, delay)
+		}
+	}
+	budget := time.Duration(done.Points) * delay
+	if elapsed := time.Since(start); elapsed >= budget {
+		t.Fatalf("campaign took %v — the fake clock did not displace the %v sleep budget", elapsed, budget)
+	}
+}
+
+// TestRefillFiresUnderFakeClock: the limiter's retry path — 429 until a
+// refill tick lands — driven entirely by pulses on the fake tick
+// channel, no wall-clock wait. The second pulse is the happens-before
+// edge: it is only accepted after the first pulse's Refill completed.
+func TestRefillFiresUnderFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	s := startTestServer(t, Config{
+		RateBurst: 1, RateRefill: 1, RefillEvery: time.Hour, Clock: clk,
+	})
+	if _, code := postJob(t, s, testSweep(1)); code != http.StatusAccepted {
+		t.Fatalf("job 1: HTTP %d, want 202", code)
+	}
+	if _, code := postJob(t, s, testSweep(2)); code != http.StatusTooManyRequests {
+		t.Fatalf("job 2 before refill: HTTP %d, want 429", code)
+	}
+	clk.tick <- time.Time{}
+	clk.tick <- time.Time{}
+	if _, code := postJob(t, s, testSweep(2)); code != http.StatusAccepted {
+		t.Fatalf("job 2 after fake refill tick: HTTP %d, want 202", code)
+	}
+}

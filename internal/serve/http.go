@@ -57,6 +57,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, st.Error)
 		return
 	}
+	if code == http.StatusBadRequest {
+		httpError(w, code, st.Error)
+		return
+	}
 	writeJSON(w, code, st)
 }
 
@@ -151,7 +155,8 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 // Statusz is the wire form of GET /statusz.
 type Statusz struct {
 	Revision string         `json:"revision"`
-	Jobs     map[string]int `json:"jobs"` // state -> count
+	Backend  string         `json:"backend"` // active execution backend: "indexed" or "live"
+	Jobs     map[string]int `json:"jobs"`    // state -> count
 	Queue    QueueStats     `json:"queue"`
 	Points   PointStats     `json:"points"`
 	Cache    CacheStats     `json:"cache"`
@@ -164,11 +169,15 @@ type QueueStats struct {
 }
 
 // PointStats separates simulated work from restored work: Computed
-// counts points that actually ran the engine, Resumed points restored
-// from checkpoints. A fully cache-served repeat moves neither.
+// counts points that actually ran an engine, split per backend
+// (ComputedIndexed for sweep/chaos on the cycle-level engine,
+// ComputedLive for live jobs on the concurrent fabric), Resumed points
+// restored from checkpoints. A fully cache-served repeat moves none.
 type PointStats struct {
-	Computed int64 `json:"computed"`
-	Resumed  int64 `json:"resumed"`
+	Computed        int64 `json:"computed"`
+	ComputedIndexed int64 `json:"computed_indexed"`
+	ComputedLive    int64 `json:"computed_live"`
+	Resumed         int64 `json:"resumed"`
 }
 
 // CacheStats is the artifact cache hit/miss record.
@@ -180,9 +189,15 @@ type CacheStats struct {
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := Statusz{
 		Revision: s.revision,
+		Backend:  s.cfg.Backend,
 		Jobs:     map[string]int{},
 		Queue:    QueueStats{Depth: s.cfg.QueueDepth, Occupancy: s.queued.Load()},
-		Points:   PointStats{Computed: s.computed.Load(), Resumed: s.resumedPoints.Load()},
+		Points: PointStats{
+			Computed:        s.computed.Load(),
+			ComputedIndexed: s.computedIndexed.Load(),
+			ComputedLive:    s.computedLive.Load(),
+			Resumed:         s.resumedPoints.Load(),
+		},
 	}
 	st.Cache.Hits, st.Cache.Misses = s.cache.Stats()
 	s.mu.Lock()

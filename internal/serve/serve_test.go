@@ -515,6 +515,12 @@ func TestStatuszShape(t *testing.T) {
 	if z.Points.Computed == 0 {
 		t.Fatal("statusz computed counter never moved")
 	}
+	if z.Backend != BackendIndexed {
+		t.Fatalf("statusz backend %q, want %q", z.Backend, BackendIndexed)
+	}
+	if z.Points.ComputedIndexed != z.Points.Computed || z.Points.ComputedLive != 0 {
+		t.Fatalf("statusz per-backend split: %+v", z.Points)
+	}
 }
 
 // TestServerGoroutinesJoined: a full start/submit/stream/close cycle
